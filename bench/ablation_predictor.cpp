@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: PC reuse-predictor geometry (Tian et al. style).
+ *
+ * Sweeps the counter threshold and the training-sample interval for
+ * CacheRW-PCby on one throughput-sensitive workload (FwLRN, where
+ * bypassing should win) and one reuse-sensitive workload (FwBN,
+ * where over-eager bypassing would forfeit reuse). A good operating
+ * point keeps FwBN's DRAM savings while shedding FwLRN's caching
+ * overhead.
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "core/sim_config.hh"
+#include "policy/cache_policy.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+void
+sweepFor(const char *workload)
+{
+    using namespace migc;
+    std::printf("-- %s --\n", workload);
+    std::printf("%10s %8s %10s %14s %12s\n", "threshold", "sample",
+                "exec(us)", "dram_accesses", "pred_bypass");
+    auto wl = makeWorkload(workload);
+    CachePolicy policy = CachePolicy::fromName("CacheRW-PCby");
+    for (unsigned threshold : {1u, 4u, 7u}) {
+        for (unsigned sample : {4u, 16u, 64u}) {
+            SimConfig cfg = SimConfig::defaultConfig();
+            cfg.workloadScale = 0.25;
+            cfg.predictor.threshold = threshold;
+            cfg.predictor.initialValue = threshold;
+            cfg.predictor.sampleInterval = sample;
+            RunMetrics m = runWorkload(*wl, cfg, policy);
+            std::printf("%10u %8u %10.1f %14.0f %12.0f\n", threshold,
+                        sample, m.execSeconds * 1e6, m.dramAccesses,
+                        m.predictorBypasses);
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: PC reuse predictor geometry "
+                "(CacheRW-PCby) ==\n");
+    sweepFor("FwLRN");
+    sweepFor("FwBN");
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates figure11 of the paper (see core/experiments.hh for the
+ * exact definition). Results are simulated on first run and cached
+ * in mi_sweep_cache.csv; the table is also written as fig11_dram_accesses_opts.csv.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    migc::ExperimentSweep sweep;
+    migc::FigureData fig = migc::figure11(sweep);
+    migc::printFigure(std::cout, fig, 4);
+    migc::writeFigureCsv("fig11_dram_accesses_opts.csv", fig);
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate: event
+ * queue, tag lookups, DRAM address decode, reuse predictor, DBI, and
+ * the coalescer. These quantify simulator performance (events/sec),
+ * not modeled-hardware performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/dbi.hh"
+#include "cache/tags.hh"
+#include "dram/address_map.hh"
+#include "gpu/coalescer.hh"
+#include "policy/reuse_predictor.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace migc;
+
+static void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "bm");
+    Tick t = 1;
+    for (auto _ : state) {
+        eq.schedule(&ev, t++);
+        eq.serviceOne();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+static void
+BM_EventQueueDepth(benchmark::State &state)
+{
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        Rng rng(1);
+        for (std::size_t i = 0; i < depth; ++i) {
+            evs.push_back(std::make_unique<EventFunctionWrapper>(
+                [] {}, "bm"));
+            eq.schedule(evs.back().get(), rng.below(1'000'000));
+        }
+        state.ResumeTiming();
+        eq.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * depth);
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(16384);
+
+static void
+BM_TagsLookupHit(benchmark::State &state)
+{
+    Tags tags(1 << 20, 16, 64, ReplKind::lru);
+    for (Addr a = 0; a < (1 << 20); a += 64) {
+        CacheBlk *v = tags.findVictim(a);
+        tags.insert(v, a, BlkState::valid, 0);
+    }
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr a = rng.below((1 << 20) / 64) * 64;
+        benchmark::DoNotOptimize(tags.findBlock(a));
+    }
+}
+BENCHMARK(BM_TagsLookupHit);
+
+static void
+BM_TagsVictimSearch(benchmark::State &state)
+{
+    Tags tags(1 << 16, 16, 64, ReplKind::lru);
+    for (Addr a = 0; a < (1 << 16); a += 64) {
+        CacheBlk *v = tags.findVictim(a);
+        tags.insert(v, a, BlkState::valid, 0);
+    }
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr a = rng.below(1 << 24) & ~63ULL;
+        benchmark::DoNotOptimize(tags.findVictim(a));
+    }
+}
+BENCHMARK(BM_TagsVictimSearch);
+
+static void
+BM_AddressDecode(benchmark::State &state)
+{
+    DramConfig cfg;
+    AddressMap map(cfg);
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            map.decode(rng.below(1ULL << 34) & ~63ULL));
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+static void
+BM_PredictorLookup(benchmark::State &state)
+{
+    ReusePredictor pred;
+    Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pred.shouldCache(rng.below(4096) * 4, rng.below(1 << 20)));
+    }
+}
+BENCHMARK(BM_PredictorLookup);
+
+static void
+BM_DbiAddTake(benchmark::State &state)
+{
+    DirtyBlockIndex dbi(64);
+    Rng rng(6);
+    for (auto _ : state) {
+        std::uint64_t row = rng.below(256);
+        Addr line = rng.below(1 << 16) * 64;
+        benchmark::DoNotOptimize(dbi.add(row, line));
+        if (rng.chance(0.1))
+            benchmark::DoNotOptimize(dbi.takeRow(row, line));
+    }
+}
+BENCHMARK(BM_DbiAddTake);
+
+static void
+BM_Coalesce64Lanes(benchmark::State &state)
+{
+    GpuOp op;
+    op.type = GpuOpType::vload;
+    op.base = 0x1000;
+    op.laneStride = 4;
+    op.lanes = 64;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalesce(op, 64));
+}
+BENCHMARK(BM_Coalesce64Lanes);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Regenerates Table 1: the key simulated system parameters, for both
+ * the paper-faithful configuration and the scaled configuration all
+ * experiments run on.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    using namespace migc;
+    std::cout << "--- paper configuration (Table 1 as published) "
+                 "---\n";
+    std::cout << table1Text(SimConfig::paperConfig()) << "\n";
+    std::cout << "--- default experiment configuration (1/4 scale, "
+                 "used by fig* benches) ---\n";
+    std::cout << table1Text(SimConfig::defaultConfig()) << "\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Diagnostic: run one workload under one policy and dump the entire
+ * statistics tree (per-CU, per-cache, per-channel). Useful for
+ * understanding where time and traffic go under each policy.
+ *
+ * Usage: stats_dump [workload] [policy] [scale] [filter-substring]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "core/sim_config.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace migc;
+
+    std::string wname = argc > 1 ? argv[1] : "FwAct";
+    std::string pname = argc > 2 ? argv[2] : "CacheR";
+    double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+    std::string filter = argc > 4 ? argv[4] : "";
+
+    SimConfig cfg = SimConfig::defaultConfig();
+    cfg.workloadScale = scale;
+
+    System sys(cfg, CachePolicy::fromName(pname));
+    auto wl = makeWorkload(wname);
+    bool done = false;
+    sys.gpu().dispatcher().run(wl->kernels(scale),
+                               [&done] { done = true; });
+    sys.eventQueue().runUntil([&done] { return done; },
+                              2'000'000'000ULL);
+    fatal_if(!done, "simulation did not finish");
+
+    std::cout << "# " << wname << " / " << pname << " finished at "
+              << sys.eventQueue().curTick() / 1000 << " ns, "
+              << sys.eventQueue().numProcessed() << " events\n";
+
+    std::map<std::string, double> flat;
+    sys.stats().flatten(flat);
+    for (const auto &[path, value] : flat) {
+        if (!filter.empty() && path.find(filter) == std::string::npos)
+            continue;
+        if (value != 0.0)
+            std::cout << path << " " << value << "\n";
+    }
+    return 0;
+}

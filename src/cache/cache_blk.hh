@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cache block (line) state.
+ */
+
+#ifndef MIGC_CACHE_CACHE_BLK_HH
+#define MIGC_CACHE_CACHE_BLK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** GPU cache line states; no reader/writer tracking (Section III). */
+enum class BlkState : std::uint8_t
+{
+    invalid,
+    valid,  ///< clean, readable
+    dirty,  ///< holds coalesced store data (L2, CacheRW only)
+    busy,   ///< allocated; fill in flight
+};
+
+struct CacheBlk
+{
+    BlkState state = BlkState::invalid;
+
+    /** Line-aligned address this block holds (valid unless invalid). */
+    Addr addr = 0;
+
+    /** PC of the instruction whose miss inserted the block. */
+    Addr insertPc = 0;
+
+    /** Set once the block services a hit after insertion. */
+    bool reused = false;
+
+    /** Replacement bookkeeping: last-touch stamp (LRU). */
+    std::uint64_t lastTouch = 0;
+
+    /** Replacement bookkeeping: insertion stamp (FIFO). */
+    std::uint64_t insertStamp = 0;
+
+    bool isValid() const
+    {
+        return state == BlkState::valid || state == BlkState::dirty;
+    }
+
+    bool isDirty() const { return state == BlkState::dirty; }
+
+    bool isBusy() const { return state == BlkState::busy; }
+
+    void
+    invalidate()
+    {
+        state = BlkState::invalid;
+        reused = false;
+        insertPc = 0;
+    }
+};
+
+} // namespace migc
+
+#endif // MIGC_CACHE_CACHE_BLK_HH

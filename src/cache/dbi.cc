@@ -1,0 +1,112 @@
+#include "cache/dbi.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+DirtyBlockIndex::DirtyBlockIndex(std::size_t capacity)
+    : capacity_(capacity)
+{
+    fatal_if(capacity == 0, "DBI needs at least one row entry");
+}
+
+void
+DirtyBlockIndex::touchLru(std::uint64_t row_id, RowEntry &entry)
+{
+    lru_.erase(entry.lruIt);
+    lru_.push_front(row_id);
+    entry.lruIt = lru_.begin();
+}
+
+std::vector<Addr>
+DirtyBlockIndex::add(std::uint64_t row_id, Addr line_addr)
+{
+    ++statAdds_;
+    std::vector<Addr> spilled;
+
+    auto it = rows_.find(row_id);
+    if (it != rows_.end()) {
+        auto &lines = it->second.lines;
+        if (std::find(lines.begin(), lines.end(), line_addr) ==
+            lines.end()) {
+            lines.push_back(line_addr);
+        }
+        touchLru(row_id, it->second);
+        return spilled;
+    }
+
+    if (rows_.size() >= capacity_) {
+        // Evict the least-recently-updated row; its dirty lines must
+        // be rinsed by the caller to keep cache and index coherent.
+        std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        auto vit = rows_.find(victim);
+        panic_if(vit == rows_.end(), "DBI LRU list out of sync");
+        spilled = std::move(vit->second.lines);
+        rows_.erase(vit);
+        ++statCapacityEvictions_;
+    }
+
+    lru_.push_front(row_id);
+    RowEntry entry;
+    entry.lines.push_back(line_addr);
+    entry.lruIt = lru_.begin();
+    rows_.emplace(row_id, std::move(entry));
+    return spilled;
+}
+
+void
+DirtyBlockIndex::remove(std::uint64_t row_id, Addr line_addr)
+{
+    auto it = rows_.find(row_id);
+    if (it == rows_.end())
+        return;
+    auto &lines = it->second.lines;
+    auto lit = std::find(lines.begin(), lines.end(), line_addr);
+    if (lit == lines.end())
+        return;
+    ++statRemoves_;
+    lines.erase(lit);
+    if (lines.empty()) {
+        lru_.erase(it->second.lruIt);
+        rows_.erase(it);
+    }
+}
+
+std::vector<Addr>
+DirtyBlockIndex::takeRow(std::uint64_t row_id, Addr except_line)
+{
+    auto it = rows_.find(row_id);
+    if (it == rows_.end())
+        return {};
+    ++statRowTakes_;
+    std::vector<Addr> lines = std::move(it->second.lines);
+    lru_.erase(it->second.lruIt);
+    rows_.erase(it);
+    std::erase(lines, except_line);
+    return lines;
+}
+
+std::size_t
+DirtyBlockIndex::rowPopulation(std::uint64_t row_id) const
+{
+    auto it = rows_.find(row_id);
+    return it == rows_.end() ? 0 : it->second.lines.size();
+}
+
+void
+DirtyBlockIndex::regStats(StatGroup &group)
+{
+    group.addScalar("adds", "dirty lines recorded", &statAdds_);
+    group.addScalar("removes", "lines cleaned individually",
+                    &statRemoves_);
+    group.addScalar("row_takes", "rows rinsed on dirty eviction",
+                    &statRowTakes_);
+    group.addScalar("capacity_evictions", "rows rinsed on DBI overflow",
+                    &statCapacityEvictions_);
+}
+
+} // namespace migc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dirty-Block Index (Seshadri et al., ISCA 2014) adapted to the GPU
+ * L2 for row-locality-aware cache rinsing (paper Section VII.B).
+ *
+ * The DBI tracks, per DRAM row, which cached lines of that row are
+ * dirty. When any dirty line of a row is evicted, the cache "rinses"
+ * the row: it writes back every other dirty line of the same row in
+ * one burst, so the DRAM controller sees row-clustered writes. The
+ * index has bounded capacity; inserting into a full DBI evicts the
+ * least-recently-updated row, which forces that row's rinse as well.
+ */
+
+#ifndef MIGC_CACHE_DBI_HH
+#define MIGC_CACHE_DBI_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+class DirtyBlockIndex
+{
+  public:
+    /** @param capacity maximum rows tracked. */
+    explicit DirtyBlockIndex(std::size_t capacity = 64);
+
+    /**
+     * Record that @p line_addr (belonging to @p row_id) became dirty.
+     * @return the lines of a row evicted from the index to make
+     *         space; the caller must rinse them immediately.
+     */
+    std::vector<Addr> add(std::uint64_t row_id, Addr line_addr);
+
+    /** Remove one line (cleaned or evicted) from its row's entry. */
+    void remove(std::uint64_t row_id, Addr line_addr);
+
+    /**
+     * Take all lines of @p row_id except @p except_line, removing
+     * the row from the index. Used on dirty eviction to find the
+     * rinse set.
+     */
+    std::vector<Addr> takeRow(std::uint64_t row_id, Addr except_line);
+
+    std::size_t rowsTracked() const { return rows_.size(); }
+
+    /** Lines currently tracked for @p row_id (tests). */
+    std::size_t rowPopulation(std::uint64_t row_id) const;
+
+    void regStats(StatGroup &group);
+
+  private:
+    struct RowEntry
+    {
+        std::vector<Addr> lines;
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    void touchLru(std::uint64_t row_id, RowEntry &entry);
+
+    std::size_t capacity_;
+    std::unordered_map<std::uint64_t, RowEntry> rows_;
+    std::list<std::uint64_t> lru_; ///< front = most recently updated
+
+    StatScalar statAdds_;
+    StatScalar statRemoves_;
+    StatScalar statRowTakes_;
+    StatScalar statCapacityEvictions_;
+};
+
+} // namespace migc
+
+#endif // MIGC_CACHE_DBI_HH

@@ -1,0 +1,78 @@
+#include "cache/repl_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+namespace
+{
+
+class LruPolicy : public ReplPolicy
+{
+  public:
+    std::size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < candidates.size(); ++i) {
+            if (candidates[i]->lastTouch < candidates[best]->lastTouch)
+                best = i;
+        }
+        return best;
+    }
+
+    std::string name() const override { return "lru"; }
+};
+
+class FifoPolicy : public ReplPolicy
+{
+  public:
+    std::size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < candidates.size(); ++i) {
+            if (candidates[i]->insertStamp < candidates[best]->insertStamp)
+                best = i;
+        }
+        return best;
+    }
+
+    std::string name() const override { return "fifo"; }
+};
+
+class RandomPolicy : public ReplPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        return static_cast<std::size_t>(rng_.below(candidates.size()));
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplPolicy>
+ReplPolicy::create(ReplKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::lru:
+        return std::make_unique<LruPolicy>();
+      case ReplKind::fifo:
+        return std::make_unique<FifoPolicy>();
+      case ReplKind::random:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    panic("unknown replacement policy");
+}
+
+} // namespace migc

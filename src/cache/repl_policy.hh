@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Replacement policies for the set-associative tag store.
+ */
+
+#ifndef MIGC_CACHE_REPL_POLICY_HH
+#define MIGC_CACHE_REPL_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_blk.hh"
+#include "sim/rng.hh"
+
+namespace migc
+{
+
+enum class ReplKind
+{
+    lru,
+    fifo,
+    random,
+};
+
+/** Strategy object choosing a victim among replaceable blocks. */
+class ReplPolicy
+{
+  public:
+    virtual ~ReplPolicy() = default;
+
+    /**
+     * Pick a victim among @p candidates (all non-busy, non-empty).
+     * @return index into @p candidates.
+     */
+    virtual std::size_t
+    victim(const std::vector<CacheBlk *> &candidates) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Factory. @p seed feeds the random policy. */
+    static std::unique_ptr<ReplPolicy> create(ReplKind kind,
+                                              std::uint64_t seed = 1);
+};
+
+} // namespace migc
+
+#endif // MIGC_CACHE_REPL_POLICY_HH

@@ -1,0 +1,121 @@
+#include "cache/tags.hh"
+
+#include "mem/addr_utils.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+Tags::Tags(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
+           ReplKind repl, std::uint64_t seed, unsigned interleave_bits)
+    : assoc_(assoc), lineSize_(line_size),
+      lineMask_(line_size - 1), repl_(ReplPolicy::create(repl, seed))
+{
+    fatal_if(!isPowerOf2(line_size), "line size must be 2^n");
+    fatal_if(assoc == 0, "associativity must be >= 1");
+    fatal_if(size_bytes % (static_cast<std::uint64_t>(assoc) * line_size)
+             != 0, "cache size must divide evenly into sets");
+
+    numSets_ = static_cast<unsigned>(size_bytes / assoc / line_size);
+    fatal_if(!isPowerOf2(numSets_), "set count must be 2^n");
+
+    setShift_ = floorLog2(line_size) + interleave_bits;
+    blocks_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    scratch_.reserve(assoc_);
+}
+
+unsigned
+Tags::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> setShift_) & (numSets_ - 1));
+}
+
+CacheBlk *
+Tags::findBlock(Addr addr)
+{
+    Addr line = lineAlign(addr);
+    std::size_t base = static_cast<std::size_t>(setIndex(addr)) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheBlk &blk = blocks_[base + w];
+        if (blk.state != BlkState::invalid && blk.addr == line)
+            return &blk;
+    }
+    return nullptr;
+}
+
+CacheBlk *
+Tags::findVictim(Addr addr)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(addr)) * assoc_;
+    scratch_.clear();
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheBlk &blk = blocks_[base + w];
+        if (blk.state == BlkState::invalid)
+            return &blk;
+        if (!blk.isBusy())
+            scratch_.push_back(&blk);
+    }
+    if (scratch_.empty())
+        return nullptr; // every way busy: allocation would block
+    return scratch_[repl_->victim(scratch_)];
+}
+
+void
+Tags::touch(CacheBlk *blk)
+{
+    blk->lastTouch = ++stamp_;
+}
+
+void
+Tags::insert(CacheBlk *blk, Addr addr, BlkState state, Addr insert_pc)
+{
+    panic_if(blk->isBusy(), "inserting over a busy block");
+    blk->addr = lineAlign(addr);
+    blk->state = state;
+    blk->insertPc = insert_pc;
+    blk->reused = false;
+    blk->insertStamp = ++stamp_;
+    blk->lastTouch = stamp_;
+}
+
+std::uint64_t
+Tags::invalidateClean()
+{
+    std::uint64_t count = 0;
+    for (auto &blk : blocks_) {
+        if (blk.state == BlkState::valid) {
+            blk.invalidate();
+            ++count;
+        }
+    }
+    return count;
+}
+
+void
+Tags::forEachDirty(const std::function<void(CacheBlk &)> &fn)
+{
+    for (auto &blk : blocks_) {
+        if (blk.isDirty())
+            fn(blk);
+    }
+}
+
+void
+Tags::forEach(const std::function<void(CacheBlk &)> &fn)
+{
+    for (auto &blk : blocks_)
+        fn(blk);
+}
+
+std::uint64_t
+Tags::countState(BlkState state) const
+{
+    std::uint64_t count = 0;
+    for (const auto &blk : blocks_) {
+        if (blk.state == state)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace migc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Set-associative tag store.
+ */
+
+#ifndef MIGC_CACHE_TAGS_HH
+#define MIGC_CACHE_TAGS_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_blk.hh"
+#include "cache/repl_policy.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+class Tags
+{
+  public:
+    /**
+     * @param interleave_bits low line-address bits to strip from the
+     *        set index. A bank of an N-way banked cache only ever
+     *        sees lines whose low log2(N) line bits equal its bank
+     *        id, so those bits must not feed the set index or only
+     *        1/N of the sets would ever be used.
+     */
+    Tags(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
+         ReplKind repl, std::uint64_t seed = 1,
+         unsigned interleave_bits = 0);
+
+    unsigned numSets() const { return numSets_; }
+
+    unsigned assoc() const { return assoc_; }
+
+    unsigned lineSize() const { return lineSize_; }
+
+    Addr lineAlign(Addr addr) const { return addr & ~lineMask_; }
+
+    unsigned setIndex(Addr addr) const;
+
+    /** Find the block holding @p addr, or nullptr (any state). */
+    CacheBlk *findBlock(Addr addr);
+
+    /**
+     * Choose a victim way in @p addr's set: an invalid block if one
+     * exists, else the replacement policy's pick among non-busy
+     * blocks.
+     * @return nullptr when every way is busy (allocation must block
+     *         or bypass - the paper's Section VI.C.1 stall source).
+     */
+    CacheBlk *findVictim(Addr addr);
+
+    /** Record a demand access to @p blk for replacement state. */
+    void touch(CacheBlk *blk);
+
+    /** Install @p addr into @p blk in @p state. */
+    void insert(CacheBlk *blk, Addr addr, BlkState state, Addr insert_pc);
+
+    /**
+     * Self-invalidate every clean valid block (kernel-boundary
+     * action, paper Section III). Dirty and busy blocks survive:
+     * dirty data is only removed by a system-scope flush.
+     * @return count invalidated.
+     */
+    std::uint64_t invalidateClean();
+
+    /** Visit every dirty block (order: set-major, way-minor). */
+    void forEachDirty(const std::function<void(CacheBlk &)> &fn);
+
+    /** Visit all blocks (tests / introspection). */
+    void forEach(const std::function<void(CacheBlk &)> &fn);
+
+    /** Count blocks in a given state (tests / stats). */
+    std::uint64_t countState(BlkState state) const;
+
+  private:
+    unsigned numSets_;
+    unsigned assoc_;
+    unsigned lineSize_;
+    Addr lineMask_;
+    unsigned setShift_;
+    std::vector<CacheBlk> blocks_;
+    std::unique_ptr<ReplPolicy> repl_;
+    std::uint64_t stamp_ = 0;
+    std::vector<CacheBlk *> scratch_; ///< victim candidate buffer
+};
+
+} // namespace migc
+
+#endif // MIGC_CACHE_TAGS_HH

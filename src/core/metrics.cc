@@ -1,0 +1,77 @@
+#include "core/metrics.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+std::string
+RunMetrics::csvHeader()
+{
+    return "workload,policy,exec_ticks,exec_seconds,gpu_mem_requests,"
+           "dram_reads,dram_writes,dram_accesses,dram_row_hit_rate,"
+           "cache_stall_cycles,stalls_per_request,vops,gvops,gmrps,"
+           "l1_hits,l1_misses,l2_hits,l2_misses,l2_writebacks,"
+           "rinse_writebacks,alloc_bypassed,predictor_bypasses,kernels";
+}
+
+std::string
+RunMetrics::toCsv() const
+{
+    return csprintf(
+        "%s,%s,%llu,%.9e,%.0f,%.0f,%.0f,%.0f,%.9f,%.0f,%.9f,%.0f,%.6f,"
+        "%.6f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f",
+        workload.c_str(), policy.c_str(),
+        static_cast<unsigned long long>(execTicks), execSeconds,
+        gpuMemRequests, dramReads, dramWrites, dramAccesses,
+        dramRowHitRate, cacheStallCycles, stallsPerRequest, vops, gvops,
+        gmrps, l1Hits, l1Misses, l2Hits, l2Misses, l2Writebacks,
+        rinseWritebacks, allocBypassed, predictorBypasses, kernels);
+}
+
+bool
+RunMetrics::fromCsv(const std::string &line, RunMetrics &out)
+{
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        fields.push_back(item);
+    if (fields.size() != 23)
+        return false;
+
+    out.workload = fields[0];
+    out.policy = fields[1];
+    try {
+        out.execTicks = std::stoull(fields[2]);
+        out.execSeconds = std::stod(fields[3]);
+        out.gpuMemRequests = std::stod(fields[4]);
+        out.dramReads = std::stod(fields[5]);
+        out.dramWrites = std::stod(fields[6]);
+        out.dramAccesses = std::stod(fields[7]);
+        out.dramRowHitRate = std::stod(fields[8]);
+        out.cacheStallCycles = std::stod(fields[9]);
+        out.stallsPerRequest = std::stod(fields[10]);
+        out.vops = std::stod(fields[11]);
+        out.gvops = std::stod(fields[12]);
+        out.gmrps = std::stod(fields[13]);
+        out.l1Hits = std::stod(fields[14]);
+        out.l1Misses = std::stod(fields[15]);
+        out.l2Hits = std::stod(fields[16]);
+        out.l2Misses = std::stod(fields[17]);
+        out.l2Writebacks = std::stod(fields[18]);
+        out.rinseWritebacks = std::stod(fields[19]);
+        out.allocBypassed = std::stod(fields[20]);
+        out.predictorBypasses = std::stod(fields[21]);
+        out.kernels = std::stod(fields[22]);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace migc

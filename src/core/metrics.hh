@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-run metrics harvested after a workload completes: everything
+ * the paper's figures are built from.
+ */
+
+#ifndef MIGC_CORE_METRICS_HH
+#define MIGC_CORE_METRICS_HH
+
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+struct RunMetrics
+{
+    std::string workload;
+    std::string policy;
+
+    /** Wall time of the workload, host launch overheads included. */
+    Tick execTicks = 0;
+    double execSeconds = 0.0;
+
+    /** Coalesced line requests issued by the CUs (Fig. 5 / Fig. 8
+     *  denominator). */
+    double gpuMemRequests = 0.0;
+
+    /** DRAM bursts serviced (Fig. 7 / Fig. 11). */
+    double dramReads = 0.0;
+    double dramWrites = 0.0;
+    double dramAccesses = 0.0;
+
+    /** DRAM row-buffer behavior (Fig. 9 / Fig. 13). */
+    double dramRowHitRate = 0.0;
+
+    /** Cache stall cycles summed over L1s + L2 banks (Fig. 8 /
+     *  Fig. 12). */
+    double cacheStallCycles = 0.0;
+    double stallsPerRequest = 0.0;
+
+    /** Compute and memory bandwidth (Fig. 4 / Fig. 5). */
+    double vops = 0.0;
+    double gvops = 0.0;
+    double gmrps = 0.0;
+
+    /** Cache behavior breakdowns (diagnostics / ablations). */
+    double l1Hits = 0.0;
+    double l1Misses = 0.0;
+    double l2Hits = 0.0;
+    double l2Misses = 0.0;
+    double l2Writebacks = 0.0;
+    double rinseWritebacks = 0.0;
+    double allocBypassed = 0.0;
+    double predictorBypasses = 0.0;
+
+    double kernels = 0.0;
+
+    /** Serialize to CSV (schema in csvHeader()). */
+    std::string toCsv() const;
+
+    static std::string csvHeader();
+
+    /** Parse a line produced by toCsv(); returns false on mismatch. */
+    static bool fromCsv(const std::string &line, RunMetrics &out);
+};
+
+} // namespace migc
+
+#endif // MIGC_CORE_METRICS_HH

@@ -1,0 +1,68 @@
+#include "core/runner.hh"
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+RunMetrics
+runWorkload(const Workload &workload, const SimConfig &cfg,
+            const CachePolicy &policy)
+{
+    System sys(cfg, policy);
+    auto kernels = workload.kernels(cfg.workloadScale);
+
+    bool done = false;
+    sys.gpu().dispatcher().run(std::move(kernels),
+                               [&done] { done = true; });
+
+    // Generous safety budget: a run needs a few million events; a
+    // deadlocked run would otherwise spin forever.
+    constexpr std::uint64_t maxEvents = 2'000'000'000ULL;
+    sys.eventQueue().runUntil([&done] { return done; }, maxEvents);
+    fatal_if(!done,
+             "simulation did not complete: workload=%s policy=%s "
+             "(deadlock or event budget exhausted at tick %llu)",
+             workload.name().c_str(), policy.name.c_str(),
+             static_cast<unsigned long long>(
+                 sys.eventQueue().curTick()));
+
+    RunMetrics m;
+    m.workload = workload.name();
+    m.policy = policy.name;
+    m.execTicks = sys.eventQueue().curTick();
+    m.execSeconds = static_cast<double>(m.execTicks) /
+                    static_cast<double>(simSecond);
+
+    m.gpuMemRequests = sys.gpu().totalMemRequests();
+    m.dramReads = sys.dram().totalReads();
+    m.dramWrites = sys.dram().totalWrites();
+    m.dramAccesses = sys.dram().totalAccesses();
+    m.dramRowHitRate = sys.dram().rowHitRate();
+
+    m.cacheStallCycles = sys.totalCacheStallCycles();
+    m.stallsPerRequest = m.gpuMemRequests > 0
+                             ? m.cacheStallCycles / m.gpuMemRequests
+                             : 0.0;
+
+    m.vops = sys.gpu().totalVops();
+    m.gvops = m.execSeconds > 0 ? m.vops * 64.0 / m.execSeconds / 1e9
+                                : 0.0;
+    m.gmrps = m.execSeconds > 0
+                  ? m.gpuMemRequests / m.execSeconds / 1e9
+                  : 0.0;
+
+    m.l1Hits = sys.totalL1Hits();
+    m.l1Misses = sys.totalL1Misses();
+    m.l2Hits = sys.totalL2Hits();
+    m.l2Misses = sys.totalL2Misses();
+    m.l2Writebacks = sys.totalL2Writebacks();
+    m.rinseWritebacks = sys.totalRinseWritebacks();
+    m.allocBypassed = sys.totalAllocBypassed();
+    m.predictorBypasses = sys.totalPredictorBypasses();
+    m.kernels = sys.gpu().dispatcher().kernelsLaunched();
+    return m;
+}
+
+} // namespace migc

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Run one workload under one caching policy and harvest RunMetrics.
+ */
+
+#ifndef MIGC_CORE_RUNNER_HH
+#define MIGC_CORE_RUNNER_HH
+
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+#include "policy/cache_policy.hh"
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+/**
+ * Simulate @p workload to completion on a fresh System built from
+ * @p cfg with @p policy applied. Deterministic: identical inputs
+ * produce tick-identical results.
+ *
+ * Fatal if the simulation deadlocks (event budget exhausted).
+ */
+RunMetrics runWorkload(const Workload &workload, const SimConfig &cfg,
+                       const CachePolicy &policy);
+
+} // namespace migc
+
+#endif // MIGC_CORE_RUNNER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Whole-system configuration presets.
+ *
+ * paperConfig() mirrors Table 1 (64 CUs, 4 MB L2, 16-channel HBM2).
+ * defaultConfig() is the 1/4-scale system used by the experiment
+ * harness so a full 17-workload x 6-policy sweep runs in minutes;
+ * footprints in src/workloads are sized against it, preserving the
+ * footprint:capacity ratios that drive the paper's effects (see
+ * EXPERIMENTS.md). testConfig() is a tiny fast preset for unit and
+ * integration tests.
+ */
+
+#ifndef MIGC_CORE_SIM_CONFIG_HH
+#define MIGC_CORE_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cache/gpu_cache.hh"
+#include "dram/dram_config.hh"
+#include "gpu/gpu_config.hh"
+#include "mem/xbar.hh"
+#include "policy/reuse_predictor.hh"
+
+namespace migc
+{
+
+struct SimConfig
+{
+    std::string name = "default";
+
+    GpuConfig gpu;
+
+    /** Template for the per-CU L1 data caches. */
+    GpuCacheConfig l1;
+
+    /** Template for one L2 bank. */
+    GpuCacheConfig l2Bank;
+
+    unsigned l2Banks = 8;
+
+    XBar::Config xbar;
+
+    DramConfig dram;
+
+    ReusePredictor::Config predictor;
+
+    /** Footprint multiplier handed to Workload::kernels(). */
+    double workloadScale = 1.0;
+
+    std::uint64_t seed = 1;
+
+    /** Table 1 system (64 CUs, 4 MB L2, 16 channels). */
+    static SimConfig paperConfig();
+
+    /** 1/4-scale system used for all reported experiments. */
+    static SimConfig defaultConfig();
+
+    /** Tiny system for fast tests. */
+    static SimConfig testConfig();
+
+    /** One-line signature used to key the sweep result cache. */
+    std::string signature() const;
+};
+
+} // namespace migc
+
+#endif // MIGC_CORE_SIM_CONFIG_HH

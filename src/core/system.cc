@@ -1,0 +1,199 @@
+#include "core/system.hh"
+
+#include "mem/addr_utils.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+System::System(const SimConfig &cfg, const CachePolicy &policy)
+    : cfg_(cfg), policy_(policy), predictor_(cfg.predictor)
+{
+    // DRAM first: caches need its address map for row-aware rinsing.
+    dram_ = std::make_unique<DramCtrl>("dram", eventq_, cfg_.dram,
+                                       cfg_.l2Banks);
+
+    gpu_ = std::make_unique<Gpu>("gpu", eventq_, cfg_.gpu);
+
+    // Per-CU L1s with the policy's L1 behavior.
+    for (unsigned i = 0; i < cfg_.gpu.numCus; ++i) {
+        GpuCacheConfig l1 = cfg_.l1;
+        l1.name = csprintf("l1_%u", i);
+        l1.cacheLoads = policy_.cacheLoadsL1;
+        l1.cacheStores = false; // stores always bypass the L1
+        l1.allocationBypass = policy_.allocationBypass;
+        l1.rinsing = false;
+        l1.seed = cfg_.seed + i;
+        l1s_.push_back(std::make_unique<GpuCache>(
+            l1, eventq_, &dram_->addressMap(), nullptr));
+        gpu_->cu(i).memPort().bind(l1s_.back()->cpuSidePort());
+    }
+
+    // Crossbar routes line addresses to L2 banks.
+    XBar::Config xc = cfg_.xbar;
+    xc.numInputs = cfg_.gpu.numCus;
+    xc.numOutputs = cfg_.l2Banks;
+    unsigned line_shift = floorLog2(cfg_.l1.lineSize);
+    unsigned banks = cfg_.l2Banks;
+    xbar_ = std::make_unique<XBar>(
+        "xbar", eventq_, ClockDomain(cfg_.gpu.clockPeriod), xc,
+        [line_shift, banks](Addr a) {
+            return static_cast<unsigned>((a >> line_shift) % banks);
+        });
+    for (unsigned i = 0; i < cfg_.gpu.numCus; ++i)
+        l1s_[i]->memSidePort().bind(xbar_->cpuSidePort(i));
+
+    // Banked shared L2 with the policy's L2 behavior.
+    for (unsigned j = 0; j < cfg_.l2Banks; ++j) {
+        GpuCacheConfig l2 = cfg_.l2Bank;
+        l2.name = csprintf("l2_%u", j);
+        l2.bankInterleaveBits = floorLog2(cfg_.l2Banks);
+        l2.cacheLoads = policy_.cacheLoadsL2;
+        l2.cacheStores = policy_.cacheStoresL2;
+        l2.allocationBypass = policy_.allocationBypass;
+        l2.rinsing = policy_.cacheRinsing;
+        l2.seed = cfg_.seed + 1000 + j;
+        l2Banks_.push_back(std::make_unique<GpuCache>(
+            l2, eventq_, &dram_->addressMap(),
+            policy_.pcBypassL2 ? &predictor_ : nullptr));
+        xbar_->memSidePort(j).bind(l2Banks_.back()->cpuSidePort());
+        l2Banks_.back()->memSidePort().bind(dram_->clientPort(j));
+    }
+
+    // Dispatcher synchronization hooks (Section III scope model).
+    Dispatcher::SyncHooks hooks;
+    hooks.invalidateL1s = [this] {
+        for (auto &l1 : l1s_)
+            l1->invalidateClean();
+    };
+    hooks.syncL2System = [this](std::function<void()> done) {
+        auto remaining = std::make_shared<unsigned>(
+            static_cast<unsigned>(l2Banks_.size()));
+        auto shared_done = std::make_shared<std::function<void()>>(
+            std::move(done));
+        for (auto &bank : l2Banks_) {
+            bank->flushDirty([this, remaining, shared_done] {
+                if (--*remaining == 0) {
+                    for (auto &b : l2Banks_)
+                        b->invalidateClean();
+                    (*shared_done)();
+                }
+            });
+        }
+    };
+    hooks.memSystemQuiescent = [this] { return memSystemQuiescent(); };
+    gpu_->dispatcher().setSyncHooks(std::move(hooks));
+
+    // Statistics tree.
+    gpu_->regStats(stats_.child("gpu"));
+    for (auto &l1 : l1s_)
+        l1->regStats(stats_.child(l1->name()));
+    xbar_->regStats(stats_.child("xbar"));
+    for (auto &l2 : l2Banks_)
+        l2->regStats(stats_.child(l2->name()));
+    dram_->regStats(stats_.child("dram"));
+    predictor_.regStats(stats_.child("predictor"));
+}
+
+bool
+System::memSystemQuiescent() const
+{
+    // Posted writes sitting in the DRAM controller's write queue are
+    // already globally visible (they were acknowledged at the point
+    // of visibility), so quiescence does not require them to have
+    // drained to the banks. Every read in flight is tracked by some
+    // cache's MSHR/bypass table, so the cache checks cover reads.
+    for (const auto &l1 : l1s_) {
+        if (!l1->quiescent())
+            return false;
+    }
+    for (const auto &l2 : l2Banks_) {
+        if (!l2->quiescent())
+            return false;
+    }
+    return true;
+}
+
+double
+System::totalCacheStallCycles() const
+{
+    double v = 0;
+    for (const auto &l1 : l1s_)
+        v += l1->stallCycles();
+    for (const auto &l2 : l2Banks_)
+        v += l2->stallCycles();
+    return v;
+}
+
+double
+System::totalL1Hits() const
+{
+    double v = 0;
+    for (const auto &l1 : l1s_)
+        v += l1->demandHits();
+    return v;
+}
+
+double
+System::totalL1Misses() const
+{
+    double v = 0;
+    for (const auto &l1 : l1s_)
+        v += l1->demandMisses();
+    return v;
+}
+
+double
+System::totalL2Hits() const
+{
+    double v = 0;
+    for (const auto &l2 : l2Banks_)
+        v += l2->demandHits();
+    return v;
+}
+
+double
+System::totalL2Misses() const
+{
+    double v = 0;
+    for (const auto &l2 : l2Banks_)
+        v += l2->demandMisses();
+    return v;
+}
+
+double
+System::totalL2Writebacks() const
+{
+    double v = 0;
+    for (const auto &l2 : l2Banks_)
+        v += l2->writebacks();
+    return v;
+}
+
+double
+System::totalRinseWritebacks() const
+{
+    double v = 0;
+    for (const auto &l2 : l2Banks_)
+        v += l2->rinseWritebacks();
+    return v;
+}
+
+double
+System::totalAllocBypassed() const
+{
+    double v = 0;
+    for (const auto &l1 : l1s_)
+        v += l1->allocBypassConversions();
+    for (const auto &l2 : l2Banks_)
+        v += l2->allocBypassConversions();
+    return v;
+}
+
+double
+System::totalPredictorBypasses() const
+{
+    return predictor_.bypassPredictions();
+}
+
+} // namespace migc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Full-system assembly: GPU -> per-CU L1s -> crossbar -> banked L2
+ * -> HBM2 controller, with a caching policy applied across the
+ * hierarchy and the dispatcher's synchronization hooks wired up.
+ */
+
+#ifndef MIGC_CORE_SYSTEM_HH
+#define MIGC_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/gpu_cache.hh"
+#include "core/sim_config.hh"
+#include "dram/dram_ctrl.hh"
+#include "gpu/gpu.hh"
+#include "mem/xbar.hh"
+#include "policy/cache_policy.hh"
+#include "policy/reuse_predictor.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace migc
+{
+
+class System
+{
+  public:
+    System(const SimConfig &cfg, const CachePolicy &policy);
+
+    EventQueue &eventQueue() { return eventq_; }
+
+    Gpu &gpu() { return *gpu_; }
+
+    DramCtrl &dram() { return *dram_; }
+
+    GpuCache &l1(unsigned i) { return *l1s_.at(i); }
+
+    GpuCache &l2Bank(unsigned i) { return *l2Banks_.at(i); }
+
+    unsigned numL2Banks() const
+    {
+        return static_cast<unsigned>(l2Banks_.size());
+    }
+
+    ReusePredictor &predictor() { return predictor_; }
+
+    const SimConfig &config() const { return cfg_; }
+
+    const CachePolicy &policy() const { return policy_; }
+
+    StatGroup &stats() { return stats_; }
+
+    /** No request, fill, or writeback in flight anywhere. */
+    bool memSystemQuiescent() const;
+
+    // --- cross-hierarchy aggregates for metrics ---
+    double totalCacheStallCycles() const;
+    double totalL1Hits() const;
+    double totalL1Misses() const;
+    double totalL2Hits() const;
+    double totalL2Misses() const;
+    double totalL2Writebacks() const;
+    double totalRinseWritebacks() const;
+    double totalAllocBypassed() const;
+    double totalPredictorBypasses() const;
+
+  private:
+    SimConfig cfg_;
+    CachePolicy policy_;
+    EventQueue eventq_;
+    ReusePredictor predictor_;
+
+    std::unique_ptr<Gpu> gpu_;
+    std::vector<std::unique_ptr<GpuCache>> l1s_;
+    std::unique_ptr<XBar> xbar_;
+    std::vector<std::unique_ptr<GpuCache>> l2Banks_;
+    std::unique_ptr<DramCtrl> dram_;
+
+    StatGroup stats_;
+};
+
+} // namespace migc
+
+#endif // MIGC_CORE_SYSTEM_HH

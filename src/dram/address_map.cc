@@ -1,0 +1,59 @@
+#include "dram/address_map.hh"
+
+#include "mem/addr_utils.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+AddressMap::AddressMap(const DramConfig &cfg)
+    : channels_(cfg.channels), banks_(cfg.banksPerChannel),
+      linesPerRow_(cfg.rowBytes / cfg.burstBytes),
+      bankXor_(cfg.bankXorHash)
+{
+    fatal_if(!isPowerOf2(cfg.burstBytes), "burst size must be 2^n");
+    fatal_if(!isPowerOf2(cfg.channels), "channel count must be 2^n");
+    fatal_if(!isPowerOf2(cfg.banksPerChannel), "bank count must be 2^n");
+    fatal_if(cfg.rowBytes % cfg.burstBytes != 0,
+             "row size must be a multiple of the burst size");
+    fatal_if(!isPowerOf2(linesPerRow_), "lines per row must be 2^n");
+
+    lineShift_ = floorLog2(cfg.burstBytes);
+    channelBits_ = floorLog2(cfg.channels);
+    columnBits_ = floorLog2(linesPerRow_);
+    bankBits_ = floorLog2(cfg.banksPerChannel);
+}
+
+DramCoord
+AddressMap::decode(Addr addr) const
+{
+    std::uint64_t line = addr >> lineShift_;
+    DramCoord c;
+    c.channel = static_cast<unsigned>(line & ((1ULL << channelBits_) - 1));
+    line >>= channelBits_;
+    c.column = static_cast<unsigned>(line & ((1ULL << columnBits_) - 1));
+    line >>= columnBits_;
+    c.bank = static_cast<unsigned>(line & ((1ULL << bankBits_) - 1));
+    line >>= bankBits_;
+    c.row = line;
+    if (bankXor_) {
+        // Fold all row bits into the bank index so buffers at any
+        // power-of-two offset land in different banks.
+        std::uint64_t fold = c.row;
+        fold ^= fold >> bankBits_;
+        fold ^= fold >> (2 * bankBits_);
+        fold ^= fold >> (4 * bankBits_);
+        c.bank ^= static_cast<unsigned>(fold &
+                                        ((1ULL << bankBits_) - 1));
+    }
+    return c;
+}
+
+std::uint64_t
+AddressMap::rowId(Addr addr) const
+{
+    DramCoord c = decode(addr);
+    return (c.row * banks_ + c.bank) * channels_ + c.channel;
+}
+
+} // namespace migc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical address to channel/bank/row/column decomposition.
+ *
+ * Layout (low to high bits): line offset | channel | column | bank |
+ * row. Striping channels at line granularity maximizes channel-level
+ * parallelism for streaming kernels; placing the column bits below
+ * the bank bits means a contiguous stream fills an entire row in one
+ * bank before moving to the next bank, producing the long open-row
+ * streaks whose disruption the paper studies.
+ */
+
+#ifndef MIGC_DRAM_ADDRESS_MAP_HH
+#define MIGC_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** Decoded DRAM coordinates of one line address. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    unsigned column = 0;
+
+    bool
+    operator==(const DramCoord &o) const = default;
+};
+
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramConfig &cfg);
+
+    DramCoord decode(Addr addr) const;
+
+    /**
+     * A globally unique identifier of the DRAM row containing
+     * @p addr, i.e. (channel, bank, row) flattened. Used by the L2
+     * Dirty-Block Index for row-aware rinsing.
+     */
+    std::uint64_t rowId(Addr addr) const;
+
+    /** Number of cache lines held by one DRAM row. */
+    unsigned linesPerRow() const { return linesPerRow_; }
+
+    unsigned channels() const { return channels_; }
+
+  private:
+    unsigned channels_;
+    unsigned banks_;
+    unsigned linesPerRow_;
+    bool bankXor_;
+    unsigned lineShift_;
+    unsigned channelBits_;
+    unsigned columnBits_;
+    unsigned bankBits_;
+};
+
+} // namespace migc
+
+#endif // MIGC_DRAM_ADDRESS_MAP_HH

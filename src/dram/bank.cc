@@ -1,0 +1,26 @@
+#include "dram/bank.hh"
+
+namespace migc
+{
+
+Tick
+Bank::access(std::uint64_t row, const DramConfig &cfg)
+{
+    Tick latency = 0;
+    switch (classify(row)) {
+      case RowOutcome::hit:
+        latency = cfg.tCas;
+        break;
+      case RowOutcome::closedMiss:
+        latency = cfg.tRcd + cfg.tCas;
+        break;
+      case RowOutcome::conflict:
+        latency = cfg.tRp + cfg.tRcd + cfg.tCas;
+        break;
+    }
+    rowOpen_ = true;
+    openRow_ = row;
+    return latency;
+}
+
+} // namespace migc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-bank open-row state machine.
+ */
+
+#ifndef MIGC_DRAM_BANK_HH
+#define MIGC_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** Result of presenting an access to a bank. */
+enum class RowOutcome : std::uint8_t
+{
+    hit,      ///< row already open
+    closedMiss, ///< bank precharged; activate only
+    conflict, ///< different row open; precharge + activate
+};
+
+/**
+ * One DRAM bank: tracks the open row and the earliest tick the bank
+ * can begin a new column access.
+ */
+class Bank
+{
+  public:
+    /** Classify an access to @p row without changing state. */
+    RowOutcome
+    classify(std::uint64_t row) const
+    {
+        if (!rowOpen_)
+            return RowOutcome::closedMiss;
+        return row == openRow_ ? RowOutcome::hit : RowOutcome::conflict;
+    }
+
+    /**
+     * Latency from bank-ready to data for an access to @p row, and
+     * transition the bank state to "row open".
+     */
+    Tick access(std::uint64_t row, const DramConfig &cfg);
+
+    Tick readyAt() const { return readyAt_; }
+
+    /** Push back the earliest next access (bank busy / recovery). */
+    void
+    setReadyAt(Tick t)
+    {
+        if (t > readyAt_)
+            readyAt_ = t;
+    }
+
+    bool rowOpen() const { return rowOpen_; }
+
+    std::uint64_t openRow() const { return openRow_; }
+
+    /** Precharge (close) the open row, e.g. on refresh. */
+    void
+    close()
+    {
+        rowOpen_ = false;
+    }
+
+  private:
+    bool rowOpen_ = false;
+    std::uint64_t openRow_ = 0;
+    Tick readyAt_ = 0;
+};
+
+} // namespace migc
+
+#endif // MIGC_DRAM_BANK_HH

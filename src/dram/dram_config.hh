@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Geometry and timing parameters for the HBM2-like main memory.
+ *
+ * Defaults approximate one stack of HBM2 as in Table 1 of the paper
+ * (scaled variants are produced by core/sim_config). All timings are
+ * in ticks (picoseconds).
+ */
+
+#ifndef MIGC_DRAM_DRAM_CONFIG_HH
+#define MIGC_DRAM_DRAM_CONFIG_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+struct DramConfig
+{
+    /** Independent channels (HBM2: 16 per stack). */
+    unsigned channels = 16;
+
+    /** Banks per channel. */
+    unsigned banksPerChannel = 16;
+
+    /** Row (page) size per channel, bytes. */
+    unsigned rowBytes = 2048;
+
+    /** Bytes transferred per burst; one cache line. */
+    unsigned burstBytes = 64;
+
+    /** Data-bus occupancy of one burst. */
+    Tick tBurst = 2000;
+
+    /** Column access latency (CAS). */
+    Tick tCas = 14000;
+
+    /** Activate (RAS-to-CAS) latency. */
+    Tick tRcd = 14000;
+
+    /** Precharge latency. */
+    Tick tRp = 14000;
+
+    /** Write recovery added to bank busy time after a write burst. */
+    Tick tWr = 16000;
+
+    /** Bus turnaround bubble when switching read -> write. */
+    Tick tRtw = 4000;
+
+    /** Bus turnaround bubble when switching write -> read. */
+    Tick tWtr = 4000;
+
+    /** Fixed response-path latency back to the requester. */
+    Tick respLatency = 4000;
+
+    /** Read queue capacity per channel. */
+    std::size_t readQDepth = 64;
+
+    /**
+     * Write queue capacity per channel. Deep: it stands in for the
+     * controller's write buffering plus the point-of-visibility
+     * queueing above it, and keeps posted stores from head-of-line
+     * blocking reads in the shared upstream queues.
+     */
+    std::size_t writeQDepth = 384;
+
+    /** Enter write-drain mode at this write queue occupancy. */
+    std::size_t writeHighWatermark = 96;
+
+    /** Leave write-drain mode at this write queue occupancy. */
+    std::size_t writeLowWatermark = 24;
+
+    /**
+     * When the read queue is momentarily empty, start an eager write
+     * drain only above this occupancy - otherwise each read gap
+     * would cost a bus turnaround for a couple of writes.
+     */
+    std::size_t writeEagerThreshold = 60;
+
+    /**
+     * Drain writes below the eager threshold only after the read
+     * stream has been silent this long (liveness for write tails).
+     */
+    Tick writeIdleDrainDelay = 150 * simNanosecond;
+
+    /** Oldest entries considered by the FR-FCFS scheduler. */
+    unsigned schedulerWindow = 32;
+
+    /**
+     * Permutation-based bank interleaving: XOR the bank index with
+     * the low row bits so same-offset buffers (tensor in / tensor
+     * out) do not collide in the same banks. Standard in real
+     * controllers and gem5.
+     */
+    bool bankXorHash = true;
+};
+
+} // namespace migc
+
+#endif // MIGC_DRAM_DRAM_CONFIG_HH

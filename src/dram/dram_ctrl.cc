@@ -1,0 +1,126 @@
+#include "dram/dram_ctrl.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+DramCtrl::DramCtrl(std::string name, EventQueue &eq, const DramConfig &cfg,
+                   unsigned num_clients)
+    : SimObject(std::move(name), eq), cfg_(cfg), map_(cfg)
+{
+    fatal_if(num_clients == 0, "memory controller needs a client");
+
+    for (unsigned i = 0; i < num_clients; ++i) {
+        ports_.push_back(std::make_unique<ClientPort>(
+            this->name() + csprintf(".port%u", i), *this, i));
+        respQueues_.push_back(std::make_unique<RespPacketQueue>(
+            eventQueue(), *ports_.back(),
+            this->name() + csprintf(".respq%u", i)));
+    }
+    clientWaiting_.assign(num_clients, false);
+
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        channels_.push_back(std::make_unique<Channel>(
+            this->name() + csprintf(".ch%u", c), eventQueue(), cfg_, map_,
+            c,
+            [this](PacketPtr pkt, Tick ready) {
+                auto it = routeBack_.find(pkt->id);
+                panic_if(it == routeBack_.end(),
+                         "DRAM response for unknown packet %s",
+                         pkt->print().c_str());
+                unsigned dst = it->second;
+                routeBack_.erase(it);
+                respQueues_[dst]->push(pkt, ready);
+            },
+            [this] { handleChannelSpaceFreed(); }));
+    }
+}
+
+ResponsePort &
+DramCtrl::clientPort(unsigned i)
+{
+    panic_if(i >= ports_.size(), "bad DRAM client index %u", i);
+    return *ports_[i];
+}
+
+bool
+DramCtrl::handleRequest(unsigned src, PacketPtr pkt)
+{
+    DramCoord coord = map_.decode(pkt->addr);
+    // Record the return route before enqueueing: writes are acked
+    // from inside enqueue().
+    routeBack_[pkt->id] = src;
+    if (!channels_[coord.channel]->enqueue(pkt)) {
+        routeBack_.erase(pkt->id);
+        ++statRejects_;
+        clientWaiting_[src] = true;
+        return false;
+    }
+    return true;
+}
+
+void
+DramCtrl::handleChannelSpaceFreed()
+{
+    for (unsigned i = 0; i < clientWaiting_.size(); ++i) {
+        if (clientWaiting_[i]) {
+            clientWaiting_[i] = false;
+            ports_[i]->sendReqRetry();
+        }
+    }
+}
+
+void
+DramCtrl::regStats(StatGroup &group)
+{
+    group.addScalar("rejects", "requests rejected on full channel queue",
+                    &statRejects_);
+    group.addFormula("reads", "total read bursts",
+                     [this] { return totalReads(); });
+    group.addFormula("writes", "total write bursts",
+                     [this] { return totalWrites(); });
+    group.addFormula("row_hit_rate", "row hits / accesses",
+                     [this] { return rowHitRate(); });
+    for (auto &ch : channels_) {
+        // Channel names are unique; use the trailing component.
+        auto dot = ch->name().rfind('.');
+        ch->regStats(group.child(ch->name().substr(dot + 1)));
+    }
+}
+
+double
+DramCtrl::totalReads() const
+{
+    double v = 0;
+    for (const auto &ch : channels_)
+        v += ch->reads();
+    return v;
+}
+
+double
+DramCtrl::totalWrites() const
+{
+    double v = 0;
+    for (const auto &ch : channels_)
+        v += ch->writes();
+    return v;
+}
+
+double
+DramCtrl::totalRowHits() const
+{
+    double v = 0;
+    for (const auto &ch : channels_)
+        v += ch->rowHits();
+    return v;
+}
+
+double
+DramCtrl::rowHitRate() const
+{
+    double total = totalAccesses();
+    return total > 0 ? totalRowHits() / total : 0.0;
+}
+
+} // namespace migc

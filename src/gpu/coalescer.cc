@@ -1,0 +1,30 @@
+#include "gpu/coalescer.hh"
+
+#include <algorithm>
+
+#include "mem/addr_utils.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+std::vector<Addr>
+coalesce(const GpuOp &op, unsigned line_size)
+{
+    panic_if(op.type != GpuOpType::vload && op.type != GpuOpType::vstore,
+             "coalescing a non-memory op");
+
+    std::vector<Addr> lines;
+    lines.reserve(8);
+    for (std::uint32_t lane = 0; lane < op.lanes; ++lane) {
+        Addr a = static_cast<Addr>(
+            static_cast<std::int64_t>(op.base) +
+            static_cast<std::int64_t>(lane) * op.laneStride);
+        Addr line = alignDown(a, line_size);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+} // namespace migc

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Per-wavefront memory coalescing: collapse the 64 lane addresses of
+ * one vector memory instruction into unique cache-line requests,
+ * preserving first-touch order.
+ */
+
+#ifndef MIGC_GPU_COALESCER_HH
+#define MIGC_GPU_COALESCER_HH
+
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/**
+ * Coalesce @p op's lane addresses into unique line-aligned addresses.
+ * @param line_size cache line size in bytes (power of two).
+ */
+std::vector<Addr> coalesce(const GpuOp &op, unsigned line_size);
+
+} // namespace migc
+
+#endif // MIGC_GPU_COALESCER_HH

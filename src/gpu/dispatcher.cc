@@ -1,0 +1,162 @@
+#include "gpu/dispatcher.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+Dispatcher::Dispatcher(std::string name, EventQueue &eq,
+                       const GpuConfig &cfg,
+                       std::vector<ComputeUnit *> cus)
+    : SimObject(std::move(name), eq, ClockDomain(cfg.clockPeriod)),
+      cfg_(cfg), cus_(std::move(cus)),
+      launchEvent_([this] { launchKernel(); }, this->name() + ".launch"),
+      drainEvent_([this] { drainPoll(); }, this->name() + ".drain")
+{
+    fatal_if(cus_.empty(), "dispatcher needs at least one CU");
+    for (auto *cu : cus_) {
+        cu->onWorkgroupComplete(
+            [this](unsigned cu_id) { onWorkgroupComplete(cu_id); });
+    }
+}
+
+void
+Dispatcher::run(std::vector<KernelDesc> kernels,
+                std::function<void()> on_done)
+{
+    panic_if(running_, "dispatcher already running");
+    fatal_if(kernels.empty(), "no kernels to run");
+    for (const auto &k : kernels) {
+        fatal_if(!k.makeProgram, "kernel '%s' has no program generator",
+                 k.name.c_str());
+        fatal_if(k.numWorkgroups == 0, "kernel '%s' has no workgroups",
+                 k.name.c_str());
+    }
+
+    kernels_ = std::move(kernels);
+    onDone_ = std::move(on_done);
+    running_ = true;
+    kernelIdx_ = 0;
+    eventQueue().schedule(&launchEvent_, curTick() + cfg_.launchLatency);
+}
+
+void
+Dispatcher::launchKernel()
+{
+    ++statKernels_;
+    nextWg_ = 0;
+    wgsOutstanding_ = 0;
+    draining_ = false;
+    tryDispatch();
+}
+
+void
+Dispatcher::tryDispatch()
+{
+    const KernelDesc &k = kernels_[kernelIdx_];
+    unsigned stuck = 0;
+    while (nextWg_ < k.numWorkgroups && stuck < cus_.size()) {
+        ComputeUnit *cu = cus_[rrCu_];
+        if (cu->freeWfSlots() >= k.wavesPerWorkgroup) {
+            std::vector<WavefrontProgram> programs;
+            programs.reserve(k.wavesPerWorkgroup);
+            for (std::uint32_t w = 0; w < k.wavesPerWorkgroup; ++w)
+                programs.push_back(k.makeProgram(nextWg_, w));
+            cu->startWorkgroup(nextWg_, std::move(programs));
+            ++nextWg_;
+            ++wgsOutstanding_;
+            ++statWorkgroups_;
+            stuck = 0;
+        } else {
+            ++stuck;
+        }
+        rrCu_ = (rrCu_ + 1) % static_cast<unsigned>(cus_.size());
+    }
+
+    if (nextWg_ >= k.numWorkgroups && wgsOutstanding_ == 0 &&
+        !draining_) {
+        draining_ = true;
+        eventQueue().schedule(&drainEvent_,
+                              clockEdge(cfg_.drainPollInterval));
+    }
+}
+
+void
+Dispatcher::onWorkgroupComplete(unsigned cu_id)
+{
+    (void)cu_id;
+    panic_if(wgsOutstanding_ == 0, "workgroup completion underflow");
+    --wgsOutstanding_;
+    tryDispatch();
+}
+
+void
+Dispatcher::drainPoll()
+{
+    bool cus_idle = true;
+    for (auto *cu : cus_) {
+        if (!cu->idle()) {
+            cus_idle = false;
+            break;
+        }
+    }
+    if (!cus_idle || !hooks_.memSystemQuiescent()) {
+        eventQueue().schedule(&drainEvent_,
+                              clockEdge(cfg_.drainPollInterval));
+        return;
+    }
+    kernelBoundary();
+}
+
+void
+Dispatcher::kernelBoundary()
+{
+    const KernelDesc &k = kernels_[kernelIdx_];
+
+    // Every kernel boundary self-invalidates the L1s.
+    ++statInvalidates_;
+    if (hooks_.invalidateL1s)
+        hooks_.invalidateL1s();
+
+    // System-scope boundaries additionally synchronize the L2 (flush
+    // dirty + invalidate clean). The final kernel always synchronizes
+    // at system scope so results are visible to the host.
+    bool system_scope = k.endScope == SyncScope::system ||
+                        kernelIdx_ + 1 == kernels_.size();
+    if (system_scope && hooks_.syncL2System) {
+        ++statFlushes_;
+        hooks_.syncL2System([this] { afterBoundary(); });
+    } else {
+        afterBoundary();
+    }
+}
+
+void
+Dispatcher::afterBoundary()
+{
+    ++kernelIdx_;
+    if (kernelIdx_ < kernels_.size()) {
+        eventQueue().schedule(&launchEvent_,
+                              curTick() + cfg_.launchLatency);
+        return;
+    }
+    running_ = false;
+    if (onDone_) {
+        auto done = std::move(onDone_);
+        onDone_ = nullptr;
+        done();
+    }
+}
+
+void
+Dispatcher::regStats(StatGroup &group)
+{
+    group.addScalar("kernels", "kernels launched", &statKernels_);
+    group.addScalar("workgroups", "workgroups dispatched",
+                    &statWorkgroups_);
+    group.addScalar("flushes", "system-scope L2 flushes", &statFlushes_);
+    group.addScalar("invalidates", "kernel-boundary invalidations",
+                    &statInvalidates_);
+}
+
+} // namespace migc

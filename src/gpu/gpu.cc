@@ -1,0 +1,72 @@
+#include "gpu/gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+Gpu::Gpu(const std::string &name, EventQueue &eq, const GpuConfig &cfg)
+    : cfg_(cfg)
+{
+    fatal_if(cfg.numCus == 0, "GPU needs at least one CU");
+
+    std::vector<ComputeUnit *> raw;
+    for (unsigned i = 0; i < cfg.numCus; ++i) {
+        cus_.push_back(std::make_unique<ComputeUnit>(
+            name + csprintf(".cu%u", i), eq, cfg, i));
+        raw.push_back(cus_.back().get());
+    }
+    dispatcher_ = std::make_unique<Dispatcher>(name + ".dispatcher", eq,
+                                               cfg, std::move(raw));
+}
+
+ComputeUnit &
+Gpu::cu(unsigned i)
+{
+    panic_if(i >= cus_.size(), "bad CU index %u", i);
+    return *cus_[i];
+}
+
+double
+Gpu::totalVops() const
+{
+    double v = 0;
+    for (const auto &cu : cus_)
+        v += cu->vectorOps();
+    return v;
+}
+
+double
+Gpu::totalMemRequests() const
+{
+    double v = 0;
+    for (const auto &cu : cus_)
+        v += cu->memRequests();
+    return v;
+}
+
+bool
+Gpu::allCusIdle() const
+{
+    for (const auto &cu : cus_) {
+        if (!cu->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Gpu::regStats(StatGroup &group)
+{
+    dispatcher_->regStats(group.child("dispatcher"));
+    for (auto &cu : cus_) {
+        auto dot = cu->name().rfind('.');
+        cu->regStats(group.child(cu->name().substr(dot + 1)));
+    }
+    group.addFormula("vops", "total vector ALU ops",
+                     [this] { return totalVops(); });
+    group.addFormula("mem_requests", "total coalesced line requests",
+                     [this] { return totalMemRequests(); });
+}
+
+} // namespace migc

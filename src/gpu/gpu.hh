@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The GPU device: a set of compute units plus the dispatcher.
+ */
+
+#ifndef MIGC_GPU_GPU_HH
+#define MIGC_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/compute_unit.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_config.hh"
+#include "sim/sim_object.hh"
+
+namespace migc
+{
+
+class Gpu
+{
+  public:
+    Gpu(const std::string &name, EventQueue &eq, const GpuConfig &cfg);
+
+    unsigned numCus() const { return static_cast<unsigned>(cus_.size()); }
+
+    ComputeUnit &cu(unsigned i);
+
+    Dispatcher &dispatcher() { return *dispatcher_; }
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /** Total vector ALU ops across CUs (Figure 4 numerator). */
+    double totalVops() const;
+
+    /** Total coalesced line requests across CUs (Figures 5 and 8). */
+    double totalMemRequests() const;
+
+    bool allCusIdle() const;
+
+    void regStats(StatGroup &group);
+
+  private:
+    GpuConfig cfg_;
+    std::vector<std::unique_ptr<ComputeUnit>> cus_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+} // namespace migc
+
+#endif // MIGC_GPU_GPU_HH

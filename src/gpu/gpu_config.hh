@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GPU device parameters (Table 1 derived; scaled presets in
+ * core/sim_config).
+ */
+
+#ifndef MIGC_GPU_GPU_CONFIG_HH
+#define MIGC_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+struct GpuConfig
+{
+    unsigned numCus = 64;
+    unsigned simdsPerCu = 4;
+    unsigned wfSlotsPerSimd = 10;
+    unsigned wavefrontSize = 64;
+    unsigned lineSize = 64;
+
+    /** GPU clock: 1600 MHz -> 625 ps. */
+    Tick clockPeriod = 625;
+
+    /** Coalesced line requests the CU may issue to L1 per cycle. */
+    unsigned memIssueWidth = 2;
+
+    /** Per-CU buffer of coalesced line requests awaiting issue. */
+    std::size_t memQueueDepth = 64;
+
+    /** Host-side kernel launch overhead between kernels. */
+    Tick launchLatency = 600 * simNanosecond;
+
+    /** Interval for the dispatcher's end-of-kernel drain poll. */
+    Cycles drainPollInterval{64};
+};
+
+} // namespace migc
+
+#endif // MIGC_GPU_GPU_CONFIG_HH

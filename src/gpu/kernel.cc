@@ -1,0 +1,13 @@
+#include "gpu/kernel.hh"
+
+namespace migc
+{
+
+std::uint64_t
+kernelTotalWavefronts(const KernelDesc &k)
+{
+    return static_cast<std::uint64_t>(k.numWorkgroups) *
+           k.wavesPerWorkgroup;
+}
+
+} // namespace migc

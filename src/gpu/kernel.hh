@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Kernel and wavefront-program descriptions.
+ *
+ * A kernel is a grid of workgroups; each workgroup is a fixed number
+ * of 64-lane wavefronts. Every wavefront executes a program - a
+ * sequence of vector ALU ops, vector memory ops, LDS ops, and memory
+ * waits - generated lazily per wavefront by the workload so that
+ * multi-gigabyte access streams never have to be stored.
+ */
+
+#ifndef MIGC_GPU_KERNEL_HH
+#define MIGC_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** Scope of the synchronization ending a kernel (Section III). */
+enum class SyncScope : std::uint8_t
+{
+    /** GPU-internal boundary: caches self-invalidate clean data. */
+    device,
+    /** CPU-visible boundary: additionally flush all L2 dirty data. */
+    system,
+};
+
+enum class GpuOpType : std::uint8_t
+{
+    valu,      ///< vector ALU work; occupies the SIMD
+    vload,     ///< vector load; coalesced into line requests
+    vstore,    ///< vector store; coalesced, posted
+    lds,       ///< local-data-share access; no memory traffic
+    waitLoads, ///< block until all of this wavefront's loads return
+};
+
+/** One wavefront-level instruction. */
+struct GpuOp
+{
+    GpuOpType type = GpuOpType::valu;
+
+    /** SIMD occupancy in cycles (valu/lds). */
+    std::uint32_t cycles = 4;
+
+    /** Vector operations represented (feeds the GVOPS metric). */
+    std::uint32_t vops = 1;
+
+    /** Lane-0 byte address (vload/vstore). */
+    Addr base = 0;
+
+    /** Byte stride between consecutive lanes (vload/vstore). */
+    std::int64_t laneStride = 4;
+
+    /** Active lanes (vload/vstore); <= wavefront size. */
+    std::uint32_t lanes = 64;
+
+    /** Static PC of this instruction (vload/vstore). */
+    Addr pc = 0;
+};
+
+using WavefrontProgram = std::vector<GpuOp>;
+
+/**
+ * Convenience builder giving every static memory instruction a
+ * stable synthetic PC: pc = pc_base + 4 * site. Workloads pass the
+ * same @p site for the same static instruction across wavefronts so
+ * the PC-indexed reuse predictor sees coherent streams.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr pc_base) : pcBase_(pc_base) {}
+
+    /** @p count vector ALU ops, each occupying @p cycles_per cycles. */
+    ProgramBuilder &
+    valu(std::uint32_t count = 1, std::uint32_t cycles_per = 4)
+    {
+        GpuOp op;
+        op.type = GpuOpType::valu;
+        op.cycles = count * cycles_per;
+        op.vops = count;
+        prog_.push_back(op);
+        return *this;
+    }
+
+    /** LDS traffic standing in for workgroup-local reuse. */
+    ProgramBuilder &
+    lds(std::uint32_t count = 1, std::uint32_t cycles_per = 2)
+    {
+        GpuOp op;
+        op.type = GpuOpType::lds;
+        op.cycles = count * cycles_per;
+        op.vops = 0;
+        prog_.push_back(op);
+        return *this;
+    }
+
+    ProgramBuilder &
+    load(unsigned site, Addr base, std::int64_t lane_stride = 4,
+         std::uint32_t lanes = 64)
+    {
+        GpuOp op;
+        op.type = GpuOpType::vload;
+        op.cycles = 4;
+        op.vops = 0;
+        op.base = base;
+        op.laneStride = lane_stride;
+        op.lanes = lanes;
+        op.pc = pcBase_ + 4 * site;
+        prog_.push_back(op);
+        return *this;
+    }
+
+    ProgramBuilder &
+    store(unsigned site, Addr base, std::int64_t lane_stride = 4,
+          std::uint32_t lanes = 64)
+    {
+        GpuOp op;
+        op.type = GpuOpType::vstore;
+        op.cycles = 4;
+        op.vops = 0;
+        op.base = base;
+        op.laneStride = lane_stride;
+        op.lanes = lanes;
+        op.pc = pcBase_ + 4 * site;
+        prog_.push_back(op);
+        return *this;
+    }
+
+    /** Barrier on this wavefront's outstanding loads. */
+    ProgramBuilder &
+    waitLoads()
+    {
+        GpuOp op;
+        op.type = GpuOpType::waitLoads;
+        op.cycles = 1;
+        op.vops = 0;
+        prog_.push_back(op);
+        return *this;
+    }
+
+    WavefrontProgram take() { return std::move(prog_); }
+
+  private:
+    Addr pcBase_;
+    WavefrontProgram prog_;
+};
+
+/** One GPU kernel launch. */
+struct KernelDesc
+{
+    std::string name = "kernel";
+    std::uint32_t numWorkgroups = 1;
+    std::uint32_t wavesPerWorkgroup = 4;
+    SyncScope endScope = SyncScope::system;
+
+    /** Base for the kernel's synthetic PCs; keep distinct per kernel
+     *  shape so the predictor distinguishes static instructions. */
+    Addr pcBase = 0x1000;
+
+    /** Generate the program for wavefront @p wf of workgroup @p wg. */
+    std::function<WavefrontProgram(std::uint32_t wg, std::uint32_t wf)>
+        makeProgram;
+};
+
+/** Total wavefronts launched by @p k. */
+std::uint64_t kernelTotalWavefronts(const KernelDesc &k);
+
+} // namespace migc
+
+#endif // MIGC_GPU_KERNEL_HH

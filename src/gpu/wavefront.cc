@@ -1,0 +1,7 @@
+#include "gpu/wavefront.hh"
+
+// Wavefront is a plain state holder; logic lives in ComputeUnit.
+
+namespace migc
+{
+} // namespace migc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Wavefront execution state.
+ */
+
+#ifndef MIGC_GPU_WAVEFRONT_HH
+#define MIGC_GPU_WAVEFRONT_HH
+
+#include <cstdint>
+
+#include "gpu/kernel.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** One live 64-lane wavefront on a SIMD slot. */
+struct Wavefront
+{
+    bool active = false;
+    std::uint32_t wgId = 0;
+    std::uint32_t wfId = 0;
+
+    WavefrontProgram program;
+    std::size_t pcIdx = 0;
+
+    /** Line loads issued and not yet answered. */
+    unsigned outstandingLoads = 0;
+
+    /** Parked at a waitLoads op. */
+    bool waitingMem = false;
+
+    /** All instructions retired (loads may still be pending). */
+    bool
+    instructionsDone() const
+    {
+        return pcIdx >= program.size();
+    }
+
+    /** Fully complete: retired and no loads in flight. */
+    bool
+    complete() const
+    {
+        return active && instructionsDone() && outstandingLoads == 0;
+    }
+
+    void
+    reset()
+    {
+        active = false;
+        program.clear();
+        pcIdx = 0;
+        outstandingLoads = 0;
+        waitingMem = false;
+    }
+};
+
+} // namespace migc
+
+#endif // MIGC_GPU_WAVEFRONT_HH

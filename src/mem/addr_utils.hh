@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small address arithmetic helpers shared across the memory system.
+ */
+
+#ifndef MIGC_MEM_ADDR_UTILS_HH
+#define MIGC_MEM_ADDR_UTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Mix the bits of an address or PC into a table index. */
+constexpr std::uint64_t
+hashAddr(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace migc
+
+#endif // MIGC_MEM_ADDR_UTILS_HH

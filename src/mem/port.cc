@@ -1,0 +1,41 @@
+#include "mem/port.hh"
+
+namespace migc
+{
+
+void
+RequestPort::bind(ResponsePort &peer)
+{
+    panic_if(peer_ != nullptr, "port '%s' already bound", name_.c_str());
+    panic_if(peer.peer_ != nullptr, "port '%s' already bound",
+             peer.name().c_str());
+    peer_ = &peer;
+    peer.peer_ = this;
+}
+
+bool
+RequestPort::sendTimingReq(PacketPtr pkt)
+{
+    panic_if(peer_ == nullptr, "send on unbound port '%s'", name_.c_str());
+    panic_if(!pkt->isRequest(), "sendTimingReq with response %s",
+             pkt->print().c_str());
+    return peer_->recvTimingReq(pkt);
+}
+
+void
+ResponsePort::sendTimingResp(PacketPtr pkt)
+{
+    panic_if(peer_ == nullptr, "send on unbound port '%s'", name_.c_str());
+    panic_if(!pkt->isResponse(), "sendTimingResp with request %s",
+             pkt->print().c_str());
+    peer_->recvTimingResp(pkt);
+}
+
+void
+ResponsePort::sendReqRetry()
+{
+    panic_if(peer_ == nullptr, "retry on unbound port '%s'", name_.c_str());
+    peer_->recvReqRetry();
+}
+
+} // namespace migc

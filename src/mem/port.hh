@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Point-to-point timing ports with gem5-style retry flow control.
+ *
+ * Protocol:
+ *  - A requester calls RequestPort::sendTimingReq(); the responder may
+ *    return false ("busy"). The requester must then hold the packet
+ *    and wait for recvReqRetry() before re-sending.
+ *  - Responses are never refused: ResponsePort::sendTimingResp() always
+ *    succeeds and invokes RequestPort::recvTimingResp().
+ */
+
+#ifndef MIGC_MEM_PORT_HH
+#define MIGC_MEM_PORT_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+class ResponsePort;
+
+/** The requester's end of a link (e.g., a cache's mem-side port). */
+class RequestPort
+{
+  public:
+    explicit RequestPort(std::string name) : name_(std::move(name)) {}
+
+    virtual ~RequestPort() = default;
+
+    RequestPort(const RequestPort &) = delete;
+    RequestPort &operator=(const RequestPort &) = delete;
+
+    /** Connect to the peer response port (exactly once). */
+    void bind(ResponsePort &peer);
+
+    bool isBound() const { return peer_ != nullptr; }
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Try to hand @p pkt to the peer.
+     * @return false if the peer is busy; a retry will follow.
+     */
+    bool sendTimingReq(PacketPtr pkt);
+
+    /** Called when a response arrives from the peer. */
+    virtual void recvTimingResp(PacketPtr pkt) = 0;
+
+    /** Called when a previously busy peer is ready again. */
+    virtual void recvReqRetry() = 0;
+
+  private:
+    friend class ResponsePort;
+
+    std::string name_;
+    ResponsePort *peer_ = nullptr;
+};
+
+/** The responder's end of a link (e.g., a cache's cpu-side port). */
+class ResponsePort
+{
+  public:
+    explicit ResponsePort(std::string name) : name_(std::move(name)) {}
+
+    virtual ~ResponsePort() = default;
+
+    ResponsePort(const ResponsePort &) = delete;
+    ResponsePort &operator=(const ResponsePort &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    bool isBound() const { return peer_ != nullptr; }
+
+    /** Deliver a response to the requester (always accepted). */
+    void sendTimingResp(PacketPtr pkt);
+
+    /** Tell the requester it may retry a rejected request. */
+    void sendReqRetry();
+
+    /** Incoming request; return false to push back. */
+    virtual bool recvTimingReq(PacketPtr pkt) = 0;
+
+  private:
+    friend class RequestPort;
+
+    std::string name_;
+    RequestPort *peer_ = nullptr;
+};
+
+/**
+ * A RequestPort whose callbacks are std::functions; spares small
+ * components from declaring a subclass.
+ */
+class CallbackRequestPort : public RequestPort
+{
+  public:
+    CallbackRequestPort(std::string name,
+                        std::function<void(PacketPtr)> on_resp,
+                        std::function<void()> on_retry)
+        : RequestPort(std::move(name)), onResp_(std::move(on_resp)),
+          onRetry_(std::move(on_retry))
+    {}
+
+    void recvTimingResp(PacketPtr pkt) override { onResp_(pkt); }
+
+    void recvReqRetry() override { onRetry_(); }
+
+  private:
+    std::function<void(PacketPtr)> onResp_;
+    std::function<void()> onRetry_;
+};
+
+/** A ResponsePort with a std::function request handler. */
+class CallbackResponsePort : public ResponsePort
+{
+  public:
+    CallbackResponsePort(std::string name,
+                         std::function<bool(PacketPtr)> on_req)
+        : ResponsePort(std::move(name)), onReq_(std::move(on_req))
+    {}
+
+    bool recvTimingReq(PacketPtr pkt) override { return onReq_(pkt); }
+
+  private:
+    std::function<bool(PacketPtr)> onReq_;
+};
+
+} // namespace migc
+
+#endif // MIGC_MEM_PORT_HH

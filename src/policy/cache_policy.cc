@@ -1,0 +1,70 @@
+#include "policy/cache_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+CachePolicy
+CachePolicy::make(PolicyKind kind)
+{
+    CachePolicy p;
+    switch (kind) {
+      case PolicyKind::uncached:
+        p.name = "Uncached";
+        p.cacheLoadsL1 = false;
+        p.cacheLoadsL2 = false;
+        p.cacheStoresL2 = false;
+        break;
+      case PolicyKind::cacheR:
+        p.name = "CacheR";
+        p.cacheStoresL2 = false;
+        break;
+      case PolicyKind::cacheRW:
+        p.name = "CacheRW";
+        break;
+      case PolicyKind::cacheRwAb:
+        p.name = "CacheRW-AB";
+        p.allocationBypass = true;
+        break;
+      case PolicyKind::cacheRwCr:
+        p.name = "CacheRW-CR";
+        p.allocationBypass = true;
+        p.cacheRinsing = true;
+        break;
+      case PolicyKind::cacheRwPcby:
+        p.name = "CacheRW-PCby";
+        p.allocationBypass = true;
+        p.cacheRinsing = true;
+        p.pcBypassL2 = true;
+        break;
+    }
+    return p;
+}
+
+CachePolicy
+CachePolicy::fromName(const std::string &name)
+{
+    for (const auto &p : allPolicies()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown cache policy '%s'", name.c_str());
+}
+
+std::vector<CachePolicy>
+CachePolicy::staticPolicies()
+{
+    return {make(PolicyKind::uncached), make(PolicyKind::cacheR),
+            make(PolicyKind::cacheRW)};
+}
+
+std::vector<CachePolicy>
+CachePolicy::allPolicies()
+{
+    return {make(PolicyKind::uncached),   make(PolicyKind::cacheR),
+            make(PolicyKind::cacheRW),    make(PolicyKind::cacheRwAb),
+            make(PolicyKind::cacheRwCr),  make(PolicyKind::cacheRwPcby)};
+}
+
+} // namespace migc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GPU caching policies studied by the paper.
+ *
+ * Three static policies (Section III):
+ *  - Uncached: loads and stores bypass all GPU caches.
+ *  - CacheR:   loads cached in L1+L2; stores bypass all GPU caches.
+ *  - CacheRW:  loads cached in L1+L2; stores bypass L1 and coalesce
+ *              in the L2 until a system-scope flush.
+ *
+ * Three cumulative optimizations on CacheRW (Section VII):
+ *  - AB:   allocation bypass - convert a cached request to a bypass
+ *          request whenever allocation would block.
+ *  - CR:   row-locality-aware cache rinsing via a Dirty-Block Index.
+ *  - PCby: PC-indexed reuse prediction for L2 loads and stores.
+ */
+
+#ifndef MIGC_POLICY_CACHE_POLICY_HH
+#define MIGC_POLICY_CACHE_POLICY_HH
+
+#include <string>
+#include <vector>
+
+namespace migc
+{
+
+/** The six named configurations evaluated in the paper. */
+enum class PolicyKind
+{
+    uncached,
+    cacheR,
+    cacheRW,
+    cacheRwAb,
+    cacheRwCr,
+    cacheRwPcby,
+};
+
+/** Tunable caching-policy knobs; presets via make(). */
+struct CachePolicy
+{
+    std::string name = "CacheRW";
+
+    /** Cache loads in the per-CU L1s. */
+    bool cacheLoadsL1 = true;
+
+    /** Cache loads in the shared L2. */
+    bool cacheLoadsL2 = true;
+
+    /** Coalesce stores in the shared L2 (write-back until flush). */
+    bool cacheStoresL2 = true;
+
+    /** Convert to bypass instead of blocking on allocation. */
+    bool allocationBypass = false;
+
+    /** Dirty-Block Index row rinsing at the L2. */
+    bool cacheRinsing = false;
+
+    /** PC-based L2 bypass prediction (loads and stores). */
+    bool pcBypassL2 = false;
+
+    /** Build one of the paper's named configurations. */
+    static CachePolicy make(PolicyKind kind);
+
+    /** Parse a policy name such as "CacheRW-AB" (fatal on unknown). */
+    static CachePolicy fromName(const std::string &name);
+
+    /** The three static policies, in paper order. */
+    static std::vector<CachePolicy> staticPolicies();
+
+    /** All six configurations, in paper order. */
+    static std::vector<CachePolicy> allPolicies();
+
+    /** True when no GPU cache ever allocates. */
+    bool
+    fullyBypassed() const
+    {
+        return !cacheLoadsL1 && !cacheLoadsL2 && !cacheStoresL2;
+    }
+};
+
+} // namespace migc
+
+#endif // MIGC_POLICY_CACHE_POLICY_HH

@@ -1,0 +1,92 @@
+#include "policy/reuse_predictor.hh"
+
+#include "mem/addr_utils.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+ReusePredictor::ReusePredictor() : ReusePredictor(Config{}) {}
+
+ReusePredictor::ReusePredictor(const Config &cfg)
+    : cfg_(cfg), maxCounter_((1u << cfg.counterBits) - 1),
+      table_(cfg.entries,
+             static_cast<std::uint8_t>(cfg.initialValue))
+{
+    fatal_if(!isPowerOf2(cfg.entries), "predictor entries must be 2^n");
+    fatal_if(cfg.initialValue > maxCounter_,
+             "predictor initial value exceeds counter range");
+    fatal_if(cfg.threshold > maxCounter_ + 1,
+             "predictor threshold exceeds counter range");
+    fatal_if(cfg.sampleInterval == 0, "sample interval must be >= 1");
+}
+
+std::size_t
+ReusePredictor::indexOf(Addr pc) const
+{
+    return hashAddr(pc) & (cfg_.entries - 1);
+}
+
+bool
+ReusePredictor::shouldCache(Addr pc, Addr line_addr)
+{
+    ++statLookups_;
+    if (table_[indexOf(pc)] >= cfg_.threshold)
+        return true;
+    // Deterministic set sampling: a fixed slice of the address space
+    // is always cached so no-reuse PCs can redeem themselves.
+    if (hashAddr(line_addr >> 6) % cfg_.sampleInterval == 0) {
+        ++statSampledOverrides_;
+        return true;
+    }
+    ++statBypassPredictions_;
+    return false;
+}
+
+void
+ReusePredictor::trainReuse(Addr pc)
+{
+    ++statTrainReuse_;
+    auto &c = table_[indexOf(pc)];
+    if (c < maxCounter_)
+        ++c;
+}
+
+void
+ReusePredictor::trainNoReuse(Addr pc)
+{
+    ++statTrainNoReuse_;
+    auto &c = table_[indexOf(pc)];
+    if (c > 0)
+        --c;
+}
+
+unsigned
+ReusePredictor::counterFor(Addr pc) const
+{
+    return table_[indexOf(pc)];
+}
+
+void
+ReusePredictor::reset()
+{
+    for (auto &c : table_)
+        c = static_cast<std::uint8_t>(cfg_.initialValue);
+}
+
+void
+ReusePredictor::regStats(StatGroup &group)
+{
+    group.addScalar("lookups", "bypass decisions made", &statLookups_);
+    group.addScalar("bypass_predictions", "accesses predicted no-reuse",
+                    &statBypassPredictions_);
+    group.addScalar("sampled_overrides",
+                    "bypass predictions overridden by sampling",
+                    &statSampledOverrides_);
+    group.addScalar("train_reuse", "positive training events",
+                    &statTrainReuse_);
+    group.addScalar("train_no_reuse", "negative training events",
+                    &statTrainNoReuse_);
+}
+
+} // namespace migc

@@ -1,0 +1,105 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+Event::~Event()
+{
+    // Deschedule on destruction so tearing a system down mid-
+    // simulation (e.g., after the workload completed but with idle
+    // machinery events still pending) is safe. The queue's stale heap
+    // entry is invalidated by the stamp and never dereferenced.
+    if (scheduled_ && queue_ != nullptr)
+        queue_->deschedule(this);
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    panic_if(ev == nullptr, "scheduling null event");
+    panic_if(ev->scheduled_, "event '%s' already scheduled",
+             ev->name().c_str());
+    panic_if(when < curTick_,
+             "event '%s' scheduled in the past (%llu < %llu)",
+             ev->name().c_str(),
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(curTick_));
+
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->queue_ = this;
+    ev->stamp_ = nextStamp_++;
+    heap_.push(HeapEntry{when, ev->priority_, nextSeq_++, ev->stamp_, ev});
+    ++numPending_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (ev == nullptr || !ev->scheduled_)
+        return;
+    // Invalidate the heap entry lazily via the stamp.
+    ev->scheduled_ = false;
+    ev->stamp_ = 0;
+    --numPending_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::serviceOne()
+{
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        heap_.pop();
+        Event *ev = top.event;
+        if (!ev->scheduled_ || ev->stamp_ != top.stamp) {
+            continue; // stale (descheduled or rescheduled) entry
+        }
+        panic_if(top.when < curTick_, "time went backwards");
+        curTick_ = top.when;
+        ev->scheduled_ = false;
+        ev->stamp_ = 0;
+        --numPending_;
+        ++numProcessed_;
+        ev->process();
+        return;
+    }
+    panic("serviceOne() on an empty event queue");
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (!empty() && n < max_events) {
+        serviceOne();
+        ++n;
+    }
+    return n;
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &pred,
+                     std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    if (pred())
+        return true;
+    while (!empty() && n < max_events) {
+        serviceOne();
+        ++n;
+        if (pred())
+            return true;
+    }
+    return false;
+}
+
+} // namespace migc

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * A deterministic event queue: the heart of the simulator.
+ *
+ * Events are ordered by (tick, priority, insertion sequence). The
+ * insertion sequence guarantees that two events scheduled for the same
+ * tick and priority fire in scheduling order, which makes every
+ * simulation bit-reproducible.
+ */
+
+#ifndef MIGC_SIM_EVENT_QUEUE_HH
+#define MIGC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace migc
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events.
+ *
+ * Events are owned by their creators (usually as members of
+ * simulation objects) and must outlive any pending schedule.
+ */
+class Event
+{
+  public:
+    /** Smaller value fires first within the same tick. */
+    enum Priority : int
+    {
+        responsePriority = -10, ///< memory responses before new work
+        defaultPriority = 0,
+        cpuTickPriority = 10,   ///< periodic machinery after messages
+        statsPriority = 100,
+    };
+
+    explicit Event(int priority = defaultPriority) : priority_(priority) {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable description for debugging. */
+    virtual std::string name() const { return "anon-event"; }
+
+    bool scheduled() const { return scheduled_; }
+
+    /** The tick this event is scheduled for (valid when scheduled()). */
+    Tick when() const { return when_; }
+
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    int priority_ = defaultPriority;
+    std::uint64_t stamp_ = 0;    ///< matches heap entry generation
+    EventQueue *queue_ = nullptr; ///< queue holding a live schedule
+};
+
+/** An event that runs a bound callable; saves one subclass per use. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name,
+                         int priority = defaultPriority)
+        : Event(priority), callback_(std::move(callback)),
+          name_(std::move(name))
+    {}
+
+    void process() override { callback_(); }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * The global-per-simulation event queue.
+ *
+ * Descheduling is lazy: heap entries carry a generation stamp and
+ * stale entries are discarded on pop, so deschedule/reschedule are
+ * O(1) and the heap never needs a linear scan.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove @p ev from the queue; no-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule if needed, then schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    bool empty() const { return numPending_ == 0; }
+
+    std::size_t numPending() const { return numPending_; }
+
+    /** Pop and process exactly one event. Queue must not be empty. */
+    void serviceOne();
+
+    /**
+     * Run until the queue is empty or @p max_events have been
+     * processed.
+     * @return number of events processed.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /**
+     * Run until @p pred returns true (checked after each event), the
+     * queue empties, or @p max_events is hit.
+     * @return true iff @p pred was satisfied.
+     */
+    bool runUntil(const std::function<bool()> &pred,
+                  std::uint64_t max_events = UINT64_MAX);
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;   ///< global insertion order tiebreak
+        std::uint64_t stamp; ///< generation; must match event's
+        Event *event;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryCompare>
+        heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextStamp_ = 1;
+    std::size_t numPending_ = 0;
+    std::uint64_t numProcessed_ = 0;
+};
+
+} // namespace migc
+
+#endif // MIGC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,73 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace migc
+{
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string("<format error>");
+    }
+    std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<std::size_t>(len));
+}
+
+namespace logging_detail
+{
+
+namespace
+{
+std::atomic<std::uint64_t> warnCounter{0};
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", m.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", m.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &m)
+{
+    warnCounter.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s\n", m.c_str());
+}
+
+void
+informImpl(const std::string &m)
+{
+    std::fprintf(stdout, "info: %s\n", m.c_str());
+}
+
+std::uint64_t
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+} // namespace logging_detail
+
+} // namespace migc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 logging discipline.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger or core dump can catch it.
+ * fatal()  - the user asked for something unsatisfiable (bad config);
+ *            exits with a non-zero status.
+ * warn()   - functionality may be approximated; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef MIGC_SIM_LOGGING_HH
+#define MIGC_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace migc
+{
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace logging_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &m);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &m);
+void warnImpl(const std::string &m);
+void informImpl(const std::string &m);
+
+/** Count of warn() calls so far (used by tests). */
+std::uint64_t warnCount();
+
+} // namespace logging_detail
+
+} // namespace migc
+
+/** Abort on a simulator bug. Accepts printf-style arguments. */
+#define panic(...)                                                          \
+    ::migc::logging_detail::panicImpl(__FILE__, __LINE__,                   \
+                                      ::migc::csprintf(__VA_ARGS__))
+
+/** Exit on an unsatisfiable user request. */
+#define fatal(...)                                                          \
+    ::migc::logging_detail::fatalImpl(__FILE__, __LINE__,                   \
+                                      ::migc::csprintf(__VA_ARGS__))
+
+/** Panic if @p cond is false. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+/** Fatal if @p cond is true. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#define warn(...)                                                           \
+    ::migc::logging_detail::warnImpl(::migc::csprintf(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::migc::logging_detail::informImpl(::migc::csprintf(__VA_ARGS__))
+
+#endif // MIGC_SIM_LOGGING_HH

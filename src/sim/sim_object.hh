@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Named simulation objects with access to a shared event queue.
+ */
+
+#ifndef MIGC_SIM_SIM_OBJECT_HH
+#define MIGC_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace migc
+{
+
+class StatGroup;
+
+/**
+ * Base class for every modeled hardware structure.
+ *
+ * A SimObject knows its name, its event queue, and its clock domain;
+ * subclasses schedule member events through the helpers here so all
+ * timing stays edge-aligned.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq,
+              ClockDomain clock = ClockDomain(1000))
+        : name_(std::move(name)), eventq_(eq), clock_(clock)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    EventQueue &eventQueue() { return eventq_; }
+
+    const ClockDomain &clockDomain() const { return clock_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    /** The tick of the clock edge @p delay cycles after now. */
+    Tick
+    clockEdge(Cycles delay = Cycles(0)) const
+    {
+        return clock_.clockEdge(eventq_.curTick(), delay);
+    }
+
+    /** Current time expressed in this object's cycles. */
+    Cycles
+    curCycle() const
+    {
+        return clock_.ticksToCycles(eventq_.curTick());
+    }
+
+    Tick cyclesToTicks(Cycles c) const { return clock_.cyclesToTicks(c); }
+
+    /** Schedule @p ev at the clock edge @p delay cycles from now. */
+    void
+    schedule(Event &ev, Cycles delay)
+    {
+        eventq_.schedule(&ev, clockEdge(delay));
+    }
+
+    /** Schedule @p ev at absolute tick @p when. */
+    void
+    scheduleAt(Event &ev, Tick when)
+    {
+        eventq_.schedule(&ev, when);
+    }
+
+    /** Register statistics with @p group (called once at build time). */
+    virtual void regStats(StatGroup &group) { (void)group; }
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+    ClockDomain clock_;
+};
+
+} // namespace migc
+
+#endif // MIGC_SIM_SIM_OBJECT_HH

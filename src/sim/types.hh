@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, addresses.
+ *
+ * A Tick is one picosecond of simulated time, following the gem5
+ * convention. Clock domains convert between cycles and ticks.
+ */
+
+#ifndef MIGC_SIM_TYPES_HH
+#define MIGC_SIM_TYPES_HH
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace migc
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One simulated second, in ticks. */
+constexpr Tick simSecond = 1'000'000'000'000ULL;
+
+/** One simulated nanosecond, in ticks. */
+constexpr Tick simNanosecond = 1'000ULL;
+
+/** A physical memory address. */
+using Addr = std::uint64_t;
+
+/**
+ * A count of clock cycles in some clock domain.
+ *
+ * Wrapped in a tiny strong type so that cycle counts are not silently
+ * mixed with ticks; conversion goes through ClockDomain.
+ */
+class Cycles
+{
+  public:
+    Cycles() = default;
+
+    constexpr explicit Cycles(std::uint64_t c) : count_(c) {}
+
+    constexpr std::uint64_t value() const { return count_; }
+
+    constexpr Cycles
+    operator+(Cycles other) const
+    {
+        return Cycles(count_ + other.count_);
+    }
+
+    constexpr Cycles
+    operator-(Cycles other) const
+    {
+        return Cycles(count_ - other.count_);
+    }
+
+    Cycles &
+    operator+=(Cycles other)
+    {
+        count_ += other.count_;
+        return *this;
+    }
+
+    constexpr bool operator==(const Cycles &o) const = default;
+    constexpr auto operator<=>(const Cycles &o) const = default;
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A clock domain: converts cycles to ticks and aligns ticks to edges.
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks Clock period in ticks (picoseconds). */
+    constexpr explicit ClockDomain(Tick period_ticks = 1000)
+        : period_(period_ticks)
+    {}
+
+    constexpr Tick period() const { return period_; }
+
+    /** Frequency in Hz. */
+    constexpr double
+    frequency() const
+    {
+        return static_cast<double>(simSecond) / period_;
+    }
+
+    /** Ticks covered by @p c cycles. */
+    constexpr Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return c.value() * period_;
+    }
+
+    /** Whole cycles elapsed at tick @p t (rounded down). */
+    constexpr Cycles
+    ticksToCycles(Tick t) const
+    {
+        return Cycles(t / period_);
+    }
+
+    /**
+     * The tick of the next clock edge at or after @p now, plus
+     * @p delay further cycles.
+     */
+    constexpr Tick
+    clockEdge(Tick now, Cycles delay = Cycles(0)) const
+    {
+        Tick aligned = ((now + period_ - 1) / period_) * period_;
+        return aligned + delay.value() * period_;
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace migc
+
+#endif // MIGC_SIM_TYPES_HH

@@ -1,0 +1,157 @@
+#include "workloads/batchnorm.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+using workload_detail::roundTo;
+
+namespace
+{
+
+constexpr std::uint64_t chunkBytes = 256;
+constexpr std::uint32_t wavesPerWg = 4;
+
+/** Slab of x handled (and re-read) by one workgroup. */
+constexpr std::uint64_t slabBytes = 64 << 10; // 64 KiB
+
+std::uint32_t
+numSlabs(double scale)
+{
+    // 2 MiB of input at scale 1 -> 32 slabs.
+    auto n = static_cast<std::uint32_t>(scale * 32.0);
+    return n < 4 ? 4 : n;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+FwBnWorkload::kernels(double scale) const
+{
+    std::uint32_t slabs = numSlabs(scale);
+    Addr x_base = region(0);
+    Addr y_base = region(1);
+    std::uint64_t chunks_per_wf = slabBytes / chunkBytes / wavesPerWg;
+
+    KernelDesc k;
+    k.name = "miopenBatchNormFwdSpatial";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = slabs;
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x13000;
+    constexpr std::uint32_t unroll = 8;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        Addr slab = x_base + static_cast<Addr>(wg) * slabBytes;
+        Addr out = y_base + static_cast<Addr>(wg) * slabBytes;
+        // Waves sweep the slab front-to-back together (chunk c goes
+        // to wave c%4), as MIOpen's workgroup-parallel reductions do;
+        // the slab is therefore a dense sequential stream at DRAM.
+        // Pass 1: accumulate mean/variance over the slab.
+        for (std::uint64_t g = 0; g < chunks_per_wf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.load(0, slab + c * chunkBytes);
+            }
+            b.waitLoads();
+            b.valu(2 * unroll);
+        }
+        b.lds(4); // cross-wavefront reduction of the statistics
+        b.valu(2);
+        // Pass 2: re-read the slab (L2-distance reuse), normalize,
+        // write out.
+        for (std::uint64_t g = 0; g < chunks_per_wf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.load(1, slab + c * chunkBytes);
+            }
+            b.waitLoads();
+            b.valu(3 * unroll);
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.store(2, out + c * chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+FwBnWorkload::footprintBytes(double scale) const
+{
+    return static_cast<std::uint64_t>(numSlabs(scale)) * slabBytes * 2;
+}
+
+std::vector<KernelDesc>
+BwBnWorkload::kernels(double scale) const
+{
+    std::uint32_t slabs = numSlabs(scale);
+    Addr x_base = region(0);
+    Addr dy_base = region(1);
+    Addr dx_base = region(2);
+    Addr param_base = region(3); // dgamma/dbeta accumulators
+    std::uint64_t chunks_per_wf = slabBytes / chunkBytes / wavesPerWg;
+
+    KernelDesc k;
+    k.name = "miopenBatchNormBwdSpatial";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = slabs;
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x14000;
+    constexpr std::uint32_t unroll = 4;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        Addr xs = x_base + static_cast<Addr>(wg) * slabBytes;
+        Addr dys = dy_base + static_cast<Addr>(wg) * slabBytes;
+        Addr dxs = dx_base + static_cast<Addr>(wg) * slabBytes;
+        // One accumulator line per (workgroup, wavefront): stored
+        // into every iteration -> near-total write coalescing in L2.
+        Addr acc = param_base +
+                   (static_cast<Addr>(wg) * wavesPerWg + wf) * 64;
+        // Pass 1: reduce dy*x into dgamma/dbeta accumulators.
+        for (std::uint64_t g = 0; g < chunks_per_wf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.load(0, xs + c * chunkBytes);
+                b.load(1, dys + c * chunkBytes);
+            }
+            b.waitLoads();
+            b.valu(3 * unroll);
+            b.store(2, acc, 4, 16); // partial accumulator update
+        }
+        b.lds(4);
+        // Pass 2: re-read x and dy, produce dx.
+        for (std::uint64_t g = 0; g < chunks_per_wf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.load(3, xs + c * chunkBytes);
+                b.load(4, dys + c * chunkBytes);
+            }
+            b.waitLoads();
+            b.valu(4 * unroll);
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t c =
+                    (g * wavesPerWg + wf) * unroll + u;
+                b.store(5, dxs + c * chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+BwBnWorkload::footprintBytes(double scale) const
+{
+    // x, dy, dx slabs plus the small parameter accumulators.
+    std::uint64_t slabs = numSlabs(scale);
+    return slabs * slabBytes * 3 + slabs * wavesPerWg * 64;
+}
+
+} // namespace migc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Batch normalization layers (DNNMark FwBN / BwBN).
+ *
+ * MIOpen's spatial batch-norm kernels make two passes over each
+ * workgroup's channel slab (statistics, then normalization), so the
+ * second pass re-reads data at a slab-sized reuse distance the L2
+ * can capture - the paper's reuse-sensitive read pattern. The
+ * backward pass additionally accumulates per-channel dgamma/dbeta
+ * into the same lines every iteration, which is exactly the write
+ * coalescing opportunity CacheRW exploits (paper: BwBN is one of the
+ * biggest write-caching winners).
+ */
+
+#ifndef MIGC_WORKLOADS_BATCHNORM_HH
+#define MIGC_WORKLOADS_BATCHNORM_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class FwBnWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwBN"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 256", 1, 1, "42 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class BwBnWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "BwBN"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 512", 1, 1, "5.88 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_BATCHNORM_HH

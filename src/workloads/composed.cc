@@ -1,0 +1,157 @@
+#include "workloads/composed.hh"
+
+#include "workloads/gemm.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+
+namespace
+{
+
+constexpr std::uint32_t wavesPerWg = 4;
+
+std::uint32_t
+numLayers(double scale)
+{
+    auto n = static_cast<std::uint32_t>(scale * 8.0);
+    return n < 2 ? 2 : n;
+}
+
+/** Small element-wise activation over @p bytes at @p base. */
+KernelDesc
+actKernel(Addr pc_base, Addr in_base, Addr out_base, std::uint64_t bytes)
+{
+    constexpr std::uint64_t chunk = 256;
+    constexpr std::uint32_t iters = 8;
+    KernelDesc k;
+    k.name = "cmActivation";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(
+        bytes / (chunk * iters * wavesPerWg));
+    if (k.numWorkgroups == 0)
+        k.numWorkgroups = 1;
+    k.endScope = SyncScope::device;
+    k.pcBase = pc_base;
+    std::uint64_t chunks = bytes / chunk;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(pc_base);
+        std::uint64_t first =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) * iters;
+        std::uint32_t live = 0;
+        for (std::uint32_t it = 0; it < iters; ++it) {
+            std::uint64_t c = first + it;
+            if (c >= chunks)
+                break;
+            b.load(0, in_base + c * chunk);
+            ++live;
+        }
+        if (live == 0) {
+            b.valu(1);
+            return b.take();
+        }
+        b.waitLoads();
+        b.valu(2 * live);
+        for (std::uint32_t it = 0; it < live; ++it)
+            b.store(1, out_base + (first + it) * chunk);
+        return b.take();
+    };
+    return k;
+}
+
+/** 2x reduction pooling over @p bytes. */
+KernelDesc
+poolKernel(Addr pc_base, Addr in_base, Addr out_base,
+           std::uint64_t bytes)
+{
+    constexpr std::uint64_t chunk = 256;
+    constexpr std::uint32_t iters = 8;
+    KernelDesc k;
+    k.name = "cmPooling";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(
+        bytes / (chunk * iters * wavesPerWg));
+    if (k.numWorkgroups == 0)
+        k.numWorkgroups = 1;
+    k.endScope = SyncScope::device;
+    k.pcBase = pc_base;
+    std::uint64_t chunks = bytes / chunk;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(pc_base);
+        std::uint64_t first =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) * iters;
+        std::uint32_t live = 0;
+        for (std::uint32_t it = 0; it < iters; it += 2) {
+            std::uint64_t c = first + it;
+            if (c + 1 >= chunks)
+                break;
+            b.load(0, in_base + c * chunk);
+            b.load(0, in_base + (c + 1) * chunk);
+            live += 2;
+        }
+        if (live == 0) {
+            b.valu(1);
+            return b.take();
+        }
+        b.waitLoads();
+        b.lds(live);
+        b.valu(3 * live / 2);
+        for (std::uint32_t it = 0; it < live; it += 2)
+            b.store(1, out_base + (first + it) * chunk / 2);
+        return b.take();
+    };
+    return k;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+ComposedModelWorkload::kernels(double scale) const
+{
+    std::uint32_t layers = numLayers(scale);
+
+    // Activation ping-pong buffers and per-layer weights.
+    Addr act_a = region(0);
+    Addr act_b = region(1);
+    Addr weights = region(2);
+
+    // Convolution modeled as implicit GEMM: 256 output pixels x
+    // 64 output channels x 256 (in-channels x filter taps).
+    GemmShape conv;
+    conv.m = 256;
+    conv.n = 64;
+    conv.k = 256;
+    conv.elemBytes = 4;
+    conv.cyclesPerVop = 4;
+
+    std::uint64_t act_bytes =
+        static_cast<std::uint64_t>(conv.m) * conv.n * 4; // 64 KiB
+
+    std::vector<KernelDesc> ks;
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        Addr in = (l % 2 == 0) ? act_a : act_b;
+        Addr out = (l % 2 == 0) ? act_b : act_a;
+        Addr w = weights + static_cast<Addr>(l) * (1 << 20);
+
+        KernelDesc conv_k = makeGemmKernel(
+            "cmConvolution", 0x25000, in, w, out, conv);
+        conv_k.endScope = SyncScope::device;
+        ks.push_back(conv_k);
+        ks.push_back(actKernel(0x25800, out, out, act_bytes));
+        ks.push_back(poolKernel(0x26000, out, in, act_bytes));
+    }
+    ks.back().endScope = SyncScope::system;
+    return ks;
+}
+
+std::uint64_t
+ComposedModelWorkload::footprintBytes(double scale) const
+{
+    std::uint32_t layers = numLayers(scale);
+    // Two activation buffers plus per-layer weight tensors.
+    std::uint64_t conv_w = 256ULL * 64 * 4;
+    return 2ULL * 256 * 256 * 4 + layers * conv_w;
+}
+
+} // namespace migc

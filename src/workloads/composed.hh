@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Composed Model (DNNMark CM): a small multi-layer network
+ * alternating convolution, activation, and pooling kernels.
+ *
+ * Convolutions dominate and are compute-bound; layer activations are
+ * passed between kernels through memory at device scope, so caching
+ * captures substantial reuse (the paper measures a 69% demand
+ * reduction) without moving the bottleneck - CM is the canonical
+ * memory-insensitive workload.
+ */
+
+#ifndef MIGC_WORKLOADS_COMPOSED_HH
+#define MIGC_WORKLOADS_COMPOSED_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class ComposedModelWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "CM"; }
+
+    Category category() const override { return Category::insensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 64", 4, 130, "12.1 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_COMPOSED_HH

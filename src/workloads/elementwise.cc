@@ -1,0 +1,133 @@
+#include "workloads/elementwise.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+using workload_detail::roundTo;
+
+namespace
+{
+
+constexpr std::uint64_t chunkBytes = 256; ///< one 64-lane fp32 vload
+constexpr std::uint32_t itersPerWf = 32;
+constexpr std::uint32_t unroll = 8; ///< deep software pipelining (MLP)
+constexpr std::uint32_t wavesPerWg = 4;
+
+/** Elements (chunks) covered by one workload at @p scale. */
+std::uint64_t
+fwChunks(double scale)
+{
+    // 6 MiB of fp32 elements per tensor at scale 1.
+    return roundTo(scale * (6 << 20), chunkBytes * itersPerWf *
+                                          wavesPerWg) / chunkBytes;
+}
+
+/**
+ * Grid-stride chunk assignment: at any instant the live wavefronts
+ * cover a dense span of consecutive chunks (as a real element-wise
+ * kernel's global thread ids do), which is what gives the Uncached
+ * configuration its long DRAM open-row streaks (Figure 9).
+ */
+std::uint64_t
+gridStrideChunk(std::uint64_t wf_index, std::uint64_t total_wfs,
+                std::uint32_t group, std::uint32_t u)
+{
+    return (static_cast<std::uint64_t>(group) * total_wfs + wf_index) *
+               unroll + u;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+FwActWorkload::kernels(double scale) const
+{
+    std::uint64_t chunks = fwChunks(scale);
+    Addr x_base = region(0);
+    Addr y_base = region(1);
+
+    KernelDesc k;
+    k.name = "miopenActivationFwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(
+        chunks / (itersPerWf * wavesPerWg));
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x10000;
+    std::uint64_t total_wfs =
+        static_cast<std::uint64_t>(k.numWorkgroups) * wavesPerWg;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        std::uint64_t w = static_cast<std::uint64_t>(wg) * wavesPerWg +
+                          wf;
+        for (std::uint32_t g = 0; g < itersPerWf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                b.load(0, x_base + gridStrideChunk(w, total_wfs, g, u) *
+                                       chunkBytes);
+            }
+            b.waitLoads();
+            b.valu(2 * unroll); // max(x, 0)
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                b.store(1, y_base +
+                               gridStrideChunk(w, total_wfs, g, u) *
+                                   chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+FwActWorkload::footprintBytes(double scale) const
+{
+    return fwChunks(scale) * chunkBytes * 2; // x and y
+}
+
+std::vector<KernelDesc>
+BwActWorkload::kernels(double scale) const
+{
+    std::uint64_t chunks = fwChunks(scale);
+    Addr dy_base = region(0);
+    Addr y_base = region(1);
+    Addr dx_base = region(2);
+
+    KernelDesc k;
+    k.name = "miopenActivationBwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(
+        chunks / (itersPerWf * wavesPerWg));
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x11000;
+    std::uint64_t total_wfs =
+        static_cast<std::uint64_t>(k.numWorkgroups) * wavesPerWg;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        std::uint64_t w = static_cast<std::uint64_t>(wg) * wavesPerWg +
+                          wf;
+        for (std::uint32_t g = 0; g < itersPerWf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                Addr off = gridStrideChunk(w, total_wfs, g, u) *
+                           chunkBytes;
+                b.load(0, dy_base + off);
+                b.load(1, y_base + off);
+            }
+            b.waitLoads();
+            b.valu(3 * unroll); // dx = dy * (y > 0)
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                b.store(2, dx_base +
+                               gridStrideChunk(w, total_wfs, g, u) *
+                                   chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+BwActWorkload::footprintBytes(double scale) const
+{
+    return fwChunks(scale) * chunkBytes * 3; // dy, y, dx
+}
+
+} // namespace migc

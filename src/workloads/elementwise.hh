@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Activation layers (DNNMark FwAct / BwAct): element-wise ReLU
+ * forward and backward.
+ *
+ * Dense streaming with zero reuse and minimal compute - the paper's
+ * canonical throughput-sensitive workloads (Section VI.A): caching
+ * only adds allocation stalls and DRAM row-locality disruption.
+ * Forward reads x and writes y; backward reads dy and y and writes
+ * dx, so the backward pass has a 2:1 load:store mix.
+ */
+
+#ifndef MIGC_WORKLOADS_ELEMENTWISE_HH
+#define MIGC_WORKLOADS_ELEMENTWISE_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class FwActWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwAct"; }
+
+    Category
+    category() const override
+    {
+        return Category::throughputSensitive;
+    }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 100", 1, 1, "1.6 GB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class BwActWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "BwAct"; }
+
+    Category
+    category() const override
+    {
+        return Category::throughputSensitive;
+    }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 100", 1, 1, "2.4 GB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_ELEMENTWISE_HH

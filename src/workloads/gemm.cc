@@ -1,0 +1,192 @@
+#include "workloads/gemm.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+using workload_detail::roundTo;
+
+namespace
+{
+
+constexpr std::uint32_t wavesPerWg = 4;
+
+GemmShape
+scaledShape(GemmShape s, double scale)
+{
+    s.m = static_cast<std::uint32_t>(
+        roundTo(scale * s.m, s.tileM));
+    return s;
+}
+
+} // namespace
+
+KernelDesc
+makeGemmKernel(const std::string &name, Addr pc_base, Addr a_base,
+               Addr b_base, Addr c_base, const GemmShape &s)
+{
+    fatal_if(s.m % s.tileM || s.n % s.tileN || s.k % s.tileK,
+             "GEMM dims must divide into tiles");
+    fatal_if(s.tileM % wavesPerWg, "tileM must divide across waves");
+    fatal_if(s.tileK % wavesPerWg, "tileK must divide across waves");
+
+    std::uint32_t grid_m = s.m / s.tileM;
+    std::uint32_t grid_n = s.n / s.tileN;
+    std::uint32_t rows_per_wave = s.tileM / wavesPerWg;
+    std::uint32_t b_rows_per_wave = s.tileK / wavesPerWg;
+    std::uint32_t k_iters = s.k / s.tileK;
+    // Vector MACs per wave per k-iteration.
+    std::uint32_t mac_vops = rows_per_wave * s.tileN * s.tileK / 64;
+
+    KernelDesc kd;
+    kd.name = name;
+    kd.wavesPerWorkgroup = wavesPerWg;
+    kd.numWorkgroups = grid_m * grid_n;
+    kd.endScope = SyncScope::system;
+    kd.pcBase = pc_base;
+    kd.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        // wgM varies fastest so workgroups sharing a B tile are
+        // dispatched together.
+        std::uint32_t wg_m = wg % grid_m;
+        std::uint32_t wg_n = wg / grid_m;
+        std::uint64_t e = s.elemBytes;
+        std::uint64_t row0 = static_cast<std::uint64_t>(wg_m) * s.tileM +
+                             static_cast<std::uint64_t>(wf) *
+                                 rows_per_wave;
+
+        ProgramBuilder b(pc_base);
+        for (std::uint32_t kt = 0; kt < k_iters; ++kt) {
+            std::uint64_t k0 = static_cast<std::uint64_t>(kt) * s.tileK;
+            // A subtile: rows_per_wave rows x tileK elements.
+            for (std::uint32_t r = 0; r < rows_per_wave; ++r) {
+                Addr a = a_base + ((row0 + r) * s.k + k0) * e;
+                b.load(0, a, static_cast<std::int64_t>(e), s.tileK);
+            }
+            // B subtile: this wave's share of tileK x tileN.
+            for (std::uint32_t br = 0; br < b_rows_per_wave; ++br) {
+                std::uint64_t brow = k0 + wf * b_rows_per_wave + br;
+                Addr bb = b_base +
+                          (brow * s.n +
+                           static_cast<std::uint64_t>(wg_n) * s.tileN) *
+                              e;
+                b.load(1, bb, static_cast<std::int64_t>(e), s.tileN);
+            }
+            b.waitLoads();
+            b.lds(4); // stage tiles through the LDS
+            b.valu(mac_vops, s.cyclesPerVop);
+        }
+        // Epilogue: write this wave's C rows.
+        for (std::uint32_t r = 0; r < rows_per_wave; ++r) {
+            Addr c = c_base +
+                     ((row0 + r) * s.n +
+                      static_cast<std::uint64_t>(wg_n) * s.tileN) *
+                         e;
+            b.store(2, c, static_cast<std::int64_t>(e), s.tileN);
+        }
+        return b.take();
+    };
+    return kd;
+}
+
+// ---------------------------------------------------------------------
+// SGEMM
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+GemmShape
+sgemmShape()
+{
+    GemmShape s;
+    s.m = 512;
+    s.n = 128;
+    s.k = 512;
+    s.elemBytes = 4;
+    s.cyclesPerVop = 4;
+    return s;
+}
+
+GemmShape
+dgemmShape()
+{
+    GemmShape s;
+    s.m = 512;
+    s.n = 128;
+    s.k = 256;
+    s.elemBytes = 8;
+    s.cyclesPerVop = 8; // fp64 at half rate
+    return s;
+}
+
+GemmShape
+fwfcShape()
+{
+    GemmShape s;
+    s.m = 128;  // batch tile rows
+    s.n = 512;  // output neurons
+    s.k = 512;  // input neurons
+    s.elemBytes = 4;
+    s.tileM = 32;
+    s.tileN = 32;
+    s.tileK = 8;
+    s.cyclesPerVop = 4;
+    return s;
+}
+
+std::uint64_t
+gemmFootprint(const GemmShape &s)
+{
+    return static_cast<std::uint64_t>(s.elemBytes) *
+           (static_cast<std::uint64_t>(s.m) * s.k +
+            static_cast<std::uint64_t>(s.k) * s.n +
+            static_cast<std::uint64_t>(s.m) * s.n);
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+SgemmWorkload::kernels(double scale) const
+{
+    GemmShape s = scaledShape(sgemmShape(), scale);
+    return {makeGemmKernel("rocblasSgemm", 0x20000, region(0), region(1),
+                           region(2), s)};
+}
+
+std::uint64_t
+SgemmWorkload::footprintBytes(double scale) const
+{
+    return gemmFootprint(scaledShape(sgemmShape(), scale));
+}
+
+std::vector<KernelDesc>
+DgemmWorkload::kernels(double scale) const
+{
+    GemmShape s = scaledShape(dgemmShape(), scale);
+    return {makeGemmKernel("rocblasDgemm", 0x21000, region(0), region(1),
+                           region(2), s)};
+}
+
+std::uint64_t
+DgemmWorkload::footprintBytes(double scale) const
+{
+    return gemmFootprint(scaledShape(dgemmShape(), scale));
+}
+
+std::vector<KernelDesc>
+FwFcWorkload::kernels(double scale) const
+{
+    GemmShape s = scaledShape(fwfcShape(), scale);
+    return {makeGemmKernel("miopenFullyConnectedFwd", 0x22000, region(0),
+                           region(1), region(2), s)};
+}
+
+std::uint64_t
+FwFcWorkload::footprintBytes(double scale) const
+{
+    return gemmFootprint(scaledShape(fwfcShape(), scale));
+}
+
+} // namespace migc

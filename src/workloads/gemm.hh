@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GEMM-family workloads: DeepBench SGEMM / DGEMM and the DNNMark
+ * fully connected forward layer (FwFc).
+ *
+ * All three use an LDS-tiled dense GEMM. SGEMM/DGEMM use large tiles
+ * (high arithmetic intensity), so despite read caching removing
+ * 70-85% of their DRAM traffic they stay compute-bound and policy-
+ * insensitive, as in the paper. FwFc uses small tiles and a large
+ * weight matrix streamed by every batch tile, making it memory-bound
+ * with heavy cross-workgroup weight reuse: the paper's biggest read
+ * caching winner (up to 93% demand reduction, 29% speedup).
+ */
+
+#ifndef MIGC_WORKLOADS_GEMM_HH
+#define MIGC_WORKLOADS_GEMM_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+/** Shape/tiling parameters for the shared tiled-GEMM generator. */
+struct GemmShape
+{
+    std::uint32_t m = 512;
+    std::uint32_t n = 128;
+    std::uint32_t k = 512;
+    std::uint32_t elemBytes = 4;
+    std::uint32_t tileM = 64;
+    std::uint32_t tileN = 64;
+    std::uint32_t tileK = 16;
+    /** Cycles per vector MAC (2 for fp32 MAC+addr, 4+ for fp64). */
+    std::uint32_t cyclesPerVop = 4;
+};
+
+/**
+ * Build one tiled GEMM kernel C[MxN] = A[MxK] * B[KxN].
+ * Workgroups sharing a B (N-dimension) tile get adjacent ids so they
+ * run concurrently and their shared tiles are L2-resident.
+ */
+KernelDesc makeGemmKernel(const std::string &name, Addr pc_base,
+                          Addr a_base, Addr b_base, Addr c_base,
+                          const GemmShape &shape);
+
+class SgemmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "SGEMM"; }
+
+    Category category() const override { return Category::insensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"4Kx128x4K", 1, 1, "68 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class DgemmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "DGEMM"; }
+
+    Category category() const override { return Category::insensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"4Kx128x4K", 1, 1, "132 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class FwFcWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwFc"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 512", 1, 1, "148.2 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_GEMM_HH

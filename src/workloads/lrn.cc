@@ -1,0 +1,88 @@
+#include "workloads/lrn.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+using workload_detail::roundTo;
+
+namespace
+{
+
+constexpr std::uint64_t chunkBytes = 256;
+constexpr std::uint32_t itersPerWf = 32;
+constexpr std::uint32_t wavesPerWg = 4;
+
+/** Plane (channel) size: the cross-channel reuse distance. */
+constexpr std::uint64_t planeBytes = 1 << 20; // 1 MiB >= L2 share
+
+std::uint64_t
+planes(double scale)
+{
+    // 4 planes at scale 1 -> 4 MiB of input.
+    auto p = static_cast<std::uint64_t>(scale * 4.0);
+    return p < 2 ? 2 : p;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+FwLrnWorkload::kernels(double scale) const
+{
+    std::uint64_t num_planes = planes(scale);
+    std::uint64_t chunks_per_plane = planeBytes / chunkBytes;
+    std::uint64_t chunks = num_planes * chunks_per_plane;
+    Addr x_base = region(0);
+    Addr y_base = region(1);
+
+    KernelDesc k;
+    k.name = "miopenLRNForward";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(
+        chunks / (itersPerWf * wavesPerWg));
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x12000;
+    std::uint64_t total_wfs =
+        static_cast<std::uint64_t>(k.numWorkgroups) * wavesPerWg;
+    constexpr std::uint32_t unroll = 8;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        std::uint64_t w = static_cast<std::uint64_t>(wg) * wavesPerWg +
+                          wf;
+        for (std::uint32_t g = 0; g < itersPerWf / unroll; ++g) {
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t chunk =
+                    (static_cast<std::uint64_t>(g) * total_wfs + w) *
+                        unroll + u;
+                Addr off = chunk * chunkBytes;
+                // Own-plane element plus the next channel's element:
+                // the second read targets data another workgroup
+                // reads as its own plane, one full plane later -
+                // reuse the caches cannot hold on to.
+                Addr neighbor = (off + planeBytes) %
+                                (chunks * chunkBytes);
+                b.load(0, x_base + off);
+                b.load(1, x_base + neighbor);
+            }
+            b.waitLoads();
+            b.lds(2 * unroll);  // window partial sums staged in LDS
+            b.valu(4 * unroll); // square, scale, pow
+            for (std::uint32_t u = 0; u < unroll; ++u) {
+                std::uint64_t chunk =
+                    (static_cast<std::uint64_t>(g) * total_wfs + w) *
+                        unroll + u;
+                b.store(2, y_base + chunk * chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+FwLrnWorkload::footprintBytes(double scale) const
+{
+    return planes(scale) * planeBytes * 2; // x and y
+}
+
+} // namespace migc

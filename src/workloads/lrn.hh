@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Local Response Normalization forward (DNNMark FwLRN).
+ *
+ * Normalizes each element across a window of adjacent channels, so
+ * every output reads its own plane plus neighboring planes. The
+ * cross-plane re-reads are separated by an entire plane's worth of
+ * workgroups - far beyond what the caches can hold - so attempting
+ * to cache them only buys stalls and row-locality disruption: the
+ * paper's most caching-hostile workload (Section VII.A notes FwLRN
+ * is most affected by allocation blocking and benefits most from
+ * allocation bypass).
+ */
+
+#ifndef MIGC_WORKLOADS_LRN_HH
+#define MIGC_WORKLOADS_LRN_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class FwLrnWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwLRN"; }
+
+    Category
+    category() const override
+    {
+        return Category::throughputSensitive;
+    }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 100", 1, 1, "2.4 GB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_LRN_HH

@@ -1,0 +1,134 @@
+#include "workloads/pooling.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+
+namespace
+{
+
+constexpr std::uint64_t chunkBytes = 256;
+constexpr std::uint64_t rowChunks = 4;  ///< input row = 1 KiB
+constexpr std::uint64_t rowBytes = rowChunks * chunkBytes;
+constexpr std::uint32_t wavesPerWg = 4;
+constexpr std::uint32_t inRowsPerWave = 4; ///< fresh rows per wave
+constexpr std::uint32_t outRowsPerWave = inRowsPerWave / 2;
+
+std::uint64_t
+inputRows(double scale)
+{
+    // 12 MiB of input at scale 1.
+    auto rows = static_cast<std::uint64_t>(scale * (12 << 20) / rowBytes);
+    std::uint64_t per_wg = inRowsPerWave * wavesPerWg;
+    rows = (rows / per_wg) * per_wg;
+    return rows < per_wg ? per_wg : rows;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+FwPoolWorkload::kernels(double scale) const
+{
+    std::uint64_t rows = inputRows(scale);
+    Addr x_base = region(0);
+    Addr y_base = region(1);
+    std::uint64_t rows_per_wg = inRowsPerWave * wavesPerWg;
+
+    KernelDesc k;
+    k.name = "miopenPoolingFwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(rows / rows_per_wg);
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x15000;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        std::uint64_t wave_first_row =
+            static_cast<std::uint64_t>(wg) * rows_per_wg +
+            static_cast<std::uint64_t>(wf) * inRowsPerWave;
+        for (std::uint32_t r = 0; r < outRowsPerWave; ++r) {
+            // 3-row window with stride 2: rows 2r and 2r+1 are fresh;
+            // row 2r+2 is re-read by the next window (and the last
+            // one belongs to the neighboring wave/workgroup) - the
+            // cache-capturable overlap.
+            std::uint64_t top = wave_first_row + 2 * r;
+            for (std::uint64_t c = 0; c < rowChunks; ++c) {
+                std::uint64_t off = top * rowBytes + c * chunkBytes;
+                b.load(0, x_base + off);
+                b.load(1, x_base + off + rowBytes);
+                // Overlap row, wrapping at the tensor boundary.
+                b.load(2, x_base +
+                              (off + 2 * rowBytes) % (rows * rowBytes));
+            }
+            b.waitLoads();
+            b.lds(4);  // window max via LDS staging
+            b.valu(6);
+            // Output row: half the input width (two chunks).
+            Addr out = y_base + (top / 2) * (rowBytes / 2);
+            b.store(3, out);
+            b.store(3, out + chunkBytes);
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+FwPoolWorkload::footprintBytes(double scale) const
+{
+    std::uint64_t rows = inputRows(scale);
+    return rows * rowBytes + rows * rowBytes / 4; // x plus y
+}
+
+std::vector<KernelDesc>
+BwPoolWorkload::kernels(double scale) const
+{
+    std::uint64_t rows = inputRows(scale); // dx rows
+    Addr dy_base = region(0);
+    Addr dx_base = region(1);
+    std::uint64_t rows_per_wg = inRowsPerWave * wavesPerWg;
+
+    KernelDesc k;
+    k.name = "miopenPoolingBwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = static_cast<std::uint32_t>(rows / rows_per_wg);
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x16000;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(k.pcBase);
+        std::uint64_t wave_first_row =
+            static_cast<std::uint64_t>(wg) * rows_per_wg +
+            static_cast<std::uint64_t>(wf) * inRowsPerWave;
+        for (std::uint32_t r = 0; r < outRowsPerWave; ++r) {
+            std::uint64_t dy_row = (wave_first_row / 2) + r;
+            // Read one dy row (half an input row wide).
+            Addr dy = dy_base + dy_row * (rowBytes / 2);
+            b.load(0, dy);
+            b.load(0, dy + chunkBytes);
+            b.waitLoads();
+            b.valu(4);
+            // Scatter into the 3 overlapped dx rows; row 2r+2 is
+            // rewritten by the next window -> write coalescing win.
+            std::uint64_t top = wave_first_row + 2 * r;
+            for (std::uint64_t c = 0; c < rowChunks; ++c) {
+                Addr dx0 = dx_base + top * rowBytes + c * chunkBytes;
+                b.store(1, dx0);
+                b.store(2, dx0 + rowBytes);
+                b.store(3, dx_base +
+                               ((top + 2) % rows) * rowBytes +
+                               c * chunkBytes);
+            }
+        }
+        return b.take();
+    };
+    return {k};
+}
+
+std::uint64_t
+BwPoolWorkload::footprintBytes(double scale) const
+{
+    std::uint64_t rows = inputRows(scale);
+    return rows * rowBytes + rows * rowBytes / 4; // dx plus dy
+}
+
+} // namespace migc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Max-pooling layers (DNNMark FwPool / BwPool), 3x3 window, stride 2.
+ *
+ * Forward: workgroups stage their input tile through the LDS; only
+ * the one-row halo shared with the neighboring tile is re-read
+ * through the caches, so read caching helps but modestly - while the
+ * bursty tile loads drive high cache stall counts (the paper notes
+ * FwPool's stalls are offset by its reuse, and that it loses ~7%
+ * under allocation bypass until PC-based bypassing repairs it).
+ *
+ * Backward: each dy element scatters into an overlapping 3x3 input
+ * gradient window, so consecutive iterations rewrite the same dx
+ * lines - the unbalanced load/store mix the paper calls out, and a
+ * prime write-coalescing win for CacheRW.
+ */
+
+#ifndef MIGC_WORKLOADS_POOLING_HH
+#define MIGC_WORKLOADS_POOLING_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class FwPoolWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwPool"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 256", 1, 1, "480 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class BwPoolWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "BwPool"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 256", 1, 1, "252 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_POOLING_HH

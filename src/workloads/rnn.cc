@@ -1,0 +1,203 @@
+#include "workloads/rnn.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+
+namespace
+{
+
+constexpr std::uint32_t hidden = 128;
+constexpr std::uint32_t kDim = 2 * hidden; ///< [x_t ; h_{t-1}]
+constexpr std::uint32_t wavesPerWg = 4;
+constexpr std::uint32_t rowsPerWave = 16;
+constexpr std::uint32_t kChunk = 64; ///< K elements per GEMV step
+
+std::uint32_t
+seqLen(double scale)
+{
+    auto s = static_cast<std::uint32_t>(scale * 16.0);
+    return s < 2 ? 2 : s;
+}
+
+/**
+ * Gate GEMV: out[n_out] = W[n_out x kDim] * xh[kDim].
+ * Streams W once; the xh vector is re-read by every wave (the
+ * in-kernel reuse), and W itself is the cross-step L2 reuse.
+ */
+KernelDesc
+gemvKernel(const std::string &name, Addr pc_base, Addr w_base,
+           Addr xh_base, Addr out_base, std::uint32_t n_out)
+{
+    KernelDesc k;
+    k.name = name;
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = n_out / (wavesPerWg * rowsPerWave);
+    k.endScope = SyncScope::device;
+    k.pcBase = pc_base;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(pc_base);
+        std::uint64_t row0 =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) *
+            rowsPerWave;
+        for (std::uint32_t kt = 0; kt < kDim / kChunk; ++kt) {
+            std::uint64_t k0 = static_cast<std::uint64_t>(kt) * kChunk;
+            b.load(0, xh_base + k0 * 4); // shared input vector chunk
+            for (std::uint32_t r = 0; r < rowsPerWave; ++r) {
+                Addr w = w_base + ((row0 + r) * kDim + k0) * 4;
+                b.load(1, w);
+            }
+            b.waitLoads();
+            b.lds(2);
+            b.valu(rowsPerWave * kChunk / 64, 4); // MACs
+        }
+        b.valu(8); // gate nonlinearities
+        b.store(2, out_base + row0 * 4, 4, rowsPerWave);
+        return b.take();
+    };
+    return k;
+}
+
+/** Element-wise cell state/hidden update; tiny streams. */
+KernelDesc
+cellUpdateKernel(const std::string &name, Addr pc_base, Addr gates_base,
+                 Addr c_base, Addr h_out_base, std::uint32_t n_out)
+{
+    KernelDesc k;
+    k.name = name;
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = 1;
+    k.endScope = SyncScope::device;
+    k.pcBase = pc_base;
+    k.makeProgram = [=](std::uint32_t, std::uint32_t wf) {
+        ProgramBuilder b(pc_base);
+        std::uint64_t chunks = n_out * 4 / 256;
+        if (wf >= chunks) {
+            // Wave got no chunk: still participates in the barrier.
+            b.valu(1);
+            return b.take();
+        }
+        // Round-robin chunk assignment keeps every wave non-empty
+        // even when the gate vector is only a few chunks long.
+        for (std::uint64_t idx = wf; idx < chunks; idx += wavesPerWg) {
+            Addr off = idx * 256;
+            b.load(0, gates_base + off);
+            b.load(1, c_base + (off % (hidden * 4)));
+            b.waitLoads();
+            b.valu(6); // sigmoid/tanh combine
+            b.store(2, c_base + (off % (hidden * 4)));
+            b.store(3, h_out_base + (off % (hidden * 4)));
+        }
+        return b.take();
+    };
+    return k;
+}
+
+/**
+ * dW accumulation: dW += dgates (x) xh. Reads and rewrites the whole
+ * gradient buffer every step - the CacheRW coalescing target.
+ */
+KernelDesc
+wgradKernel(const std::string &name, Addr pc_base, Addr dw_base,
+            Addr dgates_base, Addr xh_base, std::uint32_t n_out)
+{
+    KernelDesc k;
+    k.name = name;
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = n_out / (wavesPerWg * rowsPerWave);
+    k.endScope = SyncScope::device;
+    k.pcBase = pc_base;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(pc_base);
+        std::uint64_t row0 =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) *
+            rowsPerWave;
+        b.load(0, dgates_base + row0 * 4, 4, rowsPerWave);
+        b.load(1, xh_base);
+        b.waitLoads();
+        for (std::uint32_t r = 0; r < rowsPerWave; ++r) {
+            Addr row = dw_base + (row0 + r) * kDim * 4;
+            // Read-modify-write the full row (kDim * 4 B = 4 chunks).
+            for (std::uint32_t c = 0; c < kDim * 4 / 256; ++c) {
+                b.load(2, row + c * 256);
+                b.waitLoads();
+                b.valu(2);
+                b.store(3, row + c * 256);
+            }
+        }
+        return b.take();
+    };
+    return k;
+}
+
+} // namespace
+
+std::string
+RnnWorkload::name() const
+{
+    std::string base = cell_ == RnnCell::lstm ? "LSTM" : "GRU";
+    return (training_ ? "FwBw" : "Fw") + base;
+}
+
+WorkloadInfo
+RnnWorkload::paperInfo() const
+{
+    if (training_) {
+        return {"Batch 1, seq len 16, hidden 128", 6, 363, "0.48 MB"};
+    }
+    return {"Batch 1, seq len 16, hidden 128", 4, 150, "0.38 MB"};
+}
+
+std::vector<KernelDesc>
+RnnWorkload::kernels(double scale) const
+{
+    std::uint32_t steps = seqLen(scale);
+    std::uint32_t n_out = gates() * hidden;
+
+    Addr w_base = region(0);      // recurrent weights
+    Addr xh_base = region(1);     // per-step [x;h] buffers
+    Addr gates_base = region(2);  // per-step gate activations
+    Addr c_base = region(3);      // cell state
+    Addr dw_base = region(4);     // weight gradients (training)
+    Addr dg_base = region(5);     // gate gradients (training)
+
+    std::vector<KernelDesc> ks;
+    for (std::uint32_t t = 0; t < steps; ++t) {
+        Addr xh_t = xh_base + static_cast<Addr>(t) * kDim * 4;
+        Addr g_t = gates_base + static_cast<Addr>(t) * n_out * 4;
+        ks.push_back(gemvKernel(name() + ".gates", 0x23000, w_base,
+                                xh_t, g_t, n_out));
+        ks.push_back(cellUpdateKernel(name() + ".cell", 0x23800, g_t,
+                                      c_base, xh_t + hidden * 4,
+                                      n_out));
+    }
+    if (training_) {
+        for (std::uint32_t t = steps; t-- > 0;) {
+            Addr xh_t = xh_base + static_cast<Addr>(t) * kDim * 4;
+            Addr g_t = gates_base + static_cast<Addr>(t) * n_out * 4;
+            // Backward-through-time: transposed GEMV for dxh, then
+            // accumulate dW.
+            ks.push_back(gemvKernel(name() + ".bwdData", 0x24000,
+                                    w_base, g_t, dg_base, n_out));
+            ks.push_back(wgradKernel(name() + ".bwdWeights", 0x24800,
+                                     dw_base, dg_base, xh_t, n_out));
+        }
+    }
+    ks.back().endScope = SyncScope::system;
+    return ks;
+}
+
+std::uint64_t
+RnnWorkload::footprintBytes(double scale) const
+{
+    std::uint32_t steps = seqLen(scale);
+    std::uint32_t n_out = gates() * hidden;
+    std::uint64_t w = static_cast<std::uint64_t>(n_out) * kDim * 4;
+    std::uint64_t acts = static_cast<std::uint64_t>(steps) *
+                         (kDim + n_out) * 4;
+    std::uint64_t grads = training_ ? w + n_out * 4 : 0;
+    return w + acts + grads + hidden * 4;
+}
+
+} // namespace migc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DeepBench recurrent networks: LSTM/GRU inference (Fw*) and
+ * training (FwBw*), batch 1, hidden size 128, sequence length 16 -
+ * the English-Vietnamese translation configuration the paper uses.
+ *
+ * Each timestep runs a gate GEMV over the recurrent weights plus a
+ * small element-wise cell-update kernel, connected by device-scope
+ * boundaries (no host synchronization between steps). The weight
+ * matrix fits in the L2, so with load caching every step after the
+ * first reads its weights from cache - the cross-kernel weight reuse
+ * behind the paper's classification of the RNNs as reuse sensitive.
+ * Training adds a transposed GEMV and a dW accumulation kernel whose
+ * read-modify-write of the gradient buffer every step is the write
+ * coalescing opportunity CacheRW exploits.
+ */
+
+#ifndef MIGC_WORKLOADS_RNN_HH
+#define MIGC_WORKLOADS_RNN_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+enum class RnnCell
+{
+    lstm, ///< 4 gates
+    gru,  ///< 3 gates
+};
+
+class RnnWorkload : public Workload
+{
+  public:
+    RnnWorkload(RnnCell cell, bool training)
+        : cell_(cell), training_(training)
+    {}
+
+    std::string name() const override;
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo paperInfo() const override;
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+
+  private:
+    std::uint32_t gates() const { return cell_ == RnnCell::lstm ? 4 : 3; }
+
+    RnnCell cell_;
+    bool training_;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_RNN_HH

@@ -1,0 +1,118 @@
+#include "workloads/softmax.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+
+namespace
+{
+
+constexpr std::uint64_t chunkBytes = 256;
+constexpr std::uint32_t wavesPerWg = 4;
+
+/** Per-wavefront slice of the softmax vector, re-read each pass. */
+constexpr std::uint64_t sliceChunks = 8; // 2 KiB per wavefront
+
+std::uint32_t
+numWgs(double scale)
+{
+    // 64 KiB buffer at scale 1 -> 8 workgroups.
+    auto n = static_cast<std::uint32_t>(scale * 8.0);
+    return n < 2 ? 2 : n;
+}
+
+/** Three-pass softmax body shared by forward and backward. */
+WavefrontProgram
+softmaxProgram(Addr pc_base, Addr in_base, Addr extra_base,
+               Addr out_base, std::uint32_t wg, std::uint32_t wf,
+               bool has_extra)
+{
+    ProgramBuilder b(pc_base);
+    Addr slice = (static_cast<Addr>(wg) * wavesPerWg + wf) *
+                 sliceChunks * chunkBytes;
+
+    // Pass 1: row max. The whole slice is in flight at once, as a
+    // vectorized softmax kernel would issue it.
+    for (std::uint64_t c = 0; c < sliceChunks; ++c)
+        b.load(0, in_base + slice + c * chunkBytes);
+    b.waitLoads();
+    b.valu(sliceChunks);
+    b.lds(2);
+    // Pass 2: exp and sum; re-reads the same slice (cache hit).
+    for (std::uint64_t c = 0; c < sliceChunks; ++c) {
+        b.load(1, in_base + slice + c * chunkBytes);
+        if (has_extra)
+            b.load(2, extra_base + slice + c * chunkBytes);
+    }
+    b.waitLoads();
+    b.valu(3 * sliceChunks);
+    b.lds(2);
+    // Pass 3: normalize and write out; third read of the slice.
+    for (std::uint64_t c = 0; c < sliceChunks; ++c)
+        b.load(3, in_base + slice + c * chunkBytes);
+    b.waitLoads();
+    b.valu(2 * sliceChunks);
+    for (std::uint64_t c = 0; c < sliceChunks; ++c)
+        b.store(4, out_base + slice + c * chunkBytes);
+    return b.take();
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+FwSoftWorkload::kernels(double scale) const
+{
+    std::uint32_t wgs = numWgs(scale);
+    Addr x_base = region(0);
+    Addr y_base = region(1);
+
+    KernelDesc k;
+    k.name = "miopenSoftmaxFwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = wgs;
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x17000;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        return softmaxProgram(k.pcBase, x_base, 0, y_base, wg, wf,
+                              false);
+    };
+    return {k};
+}
+
+std::uint64_t
+FwSoftWorkload::footprintBytes(double scale) const
+{
+    return static_cast<std::uint64_t>(numWgs(scale)) * wavesPerWg *
+           sliceChunks * chunkBytes * 2;
+}
+
+std::vector<KernelDesc>
+BwSoftWorkload::kernels(double scale) const
+{
+    std::uint32_t wgs = numWgs(scale);
+    Addr y_base = region(0);
+    Addr dy_base = region(1);
+    Addr dx_base = region(2);
+
+    KernelDesc k;
+    k.name = "miopenSoftmaxBwd";
+    k.wavesPerWorkgroup = wavesPerWg;
+    k.numWorkgroups = wgs;
+    k.endScope = SyncScope::system;
+    k.pcBase = 0x18000;
+    k.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        return softmaxProgram(k.pcBase, y_base, dy_base, dx_base, wg,
+                              wf, true);
+    };
+    return {k};
+}
+
+std::uint64_t
+BwSoftWorkload::footprintBytes(double scale) const
+{
+    return static_cast<std::uint64_t>(numWgs(scale)) * wavesPerWg *
+           sliceChunks * chunkBytes * 3;
+}
+
+} // namespace migc

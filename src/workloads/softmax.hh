@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Softmax layers (DNNMark FwSoft / BwSoft).
+ *
+ * Tiny footprints (the paper lists 0.01-0.02 MB) re-read in multiple
+ * passes inside a single kernel (max, exp-sum, normalize), so with
+ * caching nearly every access after the first pass hits - the purest
+ * reuse-sensitive pattern. The kernels are small, so the end-to-end
+ * win is modest, exactly as Figure 6 shows.
+ */
+
+#ifndef MIGC_WORKLOADS_SOFTMAX_HH
+#define MIGC_WORKLOADS_SOFTMAX_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class FwSoftWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FwSoft"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 512", 1, 1, "0.01 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+class BwSoftWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "BwSoft"; }
+
+    Category category() const override { return Category::reuseSensitive; }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        return {"Batch size 512", 1, 1, "0.02 MB"};
+    }
+
+    std::vector<KernelDesc> kernels(double scale) const override;
+
+    std::uint64_t footprintBytes(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_SOFTMAX_HH

@@ -1,0 +1,102 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/batchnorm.hh"
+#include "workloads/composed.hh"
+#include "workloads/elementwise.hh"
+#include "workloads/gemm.hh"
+#include "workloads/lrn.hh"
+#include "workloads/pooling.hh"
+#include "workloads/rnn.hh"
+#include "workloads/softmax.hh"
+
+namespace migc
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::insensitive:
+        return "Insensitive";
+      case Category::reuseSensitive:
+        return "Reuse Sensitive";
+      case Category::throughputSensitive:
+        return "Throughput Sensitive";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+workloadOrder()
+{
+    // Figure 6 order: insensitive, reuse sensitive, throughput
+    // sensitive.
+    return {"DGEMM",    "SGEMM",  "CM",       "FwBN",     "FwPool",
+            "FwSoft",   "BwSoft", "BwPool",   "FwGRU",    "FwLSTM",
+            "FwBwGRU",  "FwBwLSTM", "BwBN",   "FwFc",     "FwAct",
+            "FwLRN",    "BwAct"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "FwAct")
+        return std::make_unique<FwActWorkload>();
+    if (name == "BwAct")
+        return std::make_unique<BwActWorkload>();
+    if (name == "FwLRN")
+        return std::make_unique<FwLrnWorkload>();
+    if (name == "FwBN")
+        return std::make_unique<FwBnWorkload>();
+    if (name == "BwBN")
+        return std::make_unique<BwBnWorkload>();
+    if (name == "FwPool")
+        return std::make_unique<FwPoolWorkload>();
+    if (name == "BwPool")
+        return std::make_unique<BwPoolWorkload>();
+    if (name == "FwSoft")
+        return std::make_unique<FwSoftWorkload>();
+    if (name == "BwSoft")
+        return std::make_unique<BwSoftWorkload>();
+    if (name == "SGEMM")
+        return std::make_unique<SgemmWorkload>();
+    if (name == "DGEMM")
+        return std::make_unique<DgemmWorkload>();
+    if (name == "FwFc")
+        return std::make_unique<FwFcWorkload>();
+    if (name == "FwLSTM")
+        return std::make_unique<RnnWorkload>(RnnCell::lstm, false);
+    if (name == "FwGRU")
+        return std::make_unique<RnnWorkload>(RnnCell::gru, false);
+    if (name == "FwBwLSTM")
+        return std::make_unique<RnnWorkload>(RnnCell::lstm, true);
+    if (name == "FwBwGRU")
+        return std::make_unique<RnnWorkload>(RnnCell::gru, true);
+    if (name == "CM")
+        return std::make_unique<ComposedModelWorkload>();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    for (const auto &name : workloadOrder())
+        all.push_back(makeWorkload(name));
+    return all;
+}
+
+namespace workload_detail
+{
+
+std::uint64_t
+roundTo(double v, std::uint64_t m)
+{
+    auto r = static_cast<std::uint64_t>(v / static_cast<double>(m)) * m;
+    return r < m ? m : r;
+}
+
+} // namespace workload_detail
+
+} // namespace migc

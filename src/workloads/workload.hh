@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The 17 MI workloads of Table 2, modeled as memory-access-pattern
+ * generators.
+ *
+ * The paper ran DNNMark / DeepBench / MIOpen-benchmark binaries on a
+ * full ROCm stack inside gem5. We cannot execute GCN binaries, so
+ * each workload here reproduces the *memory structure* the paper
+ * describes for that layer type - footprint, load/store mix, tiling,
+ * LDS usage, intra- and inter-kernel reuse distance, kernel count,
+ * and synchronization scope - at a footprint scaled to the scaled
+ * simulator configuration (see DESIGN.md, substitution table).
+ */
+
+#ifndef MIGC_WORKLOADS_WORKLOAD_HH
+#define MIGC_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+
+namespace migc
+{
+
+/** The paper's three workload classes (Section VI.A). */
+enum class Category
+{
+    insensitive,         ///< cache policy changes exec time < 5%
+    reuseSensitive,      ///< caching helps
+    throughputSensitive, ///< caching hurts
+};
+
+const char *categoryName(Category c);
+
+/** Table 2 metadata (the paper's own numbers, for reporting). */
+struct WorkloadInfo
+{
+    std::string input;
+    unsigned uniqueKernels = 1;
+    unsigned totalKernels = 1;
+    std::string gpuFootprint;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** The class the paper measured for this workload. */
+    virtual Category category() const = 0;
+
+    /** Table 2 row for this workload. */
+    virtual WorkloadInfo paperInfo() const = 0;
+
+    /**
+     * Build the kernel sequence at footprint scale @p scale
+     * (1.0 = the scaled default documented in EXPERIMENTS.md).
+     */
+    virtual std::vector<KernelDesc> kernels(double scale) const = 0;
+
+    /** Modeled GPU footprint in bytes at @p scale. */
+    virtual std::uint64_t footprintBytes(double scale) const = 0;
+};
+
+/** Workload names in the paper's Figure 6 order. */
+std::vector<std::string> workloadOrder();
+
+/** Instantiate a workload by name (fatal on unknown name). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Instantiate all 17 workloads in Figure 6 order. */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+namespace workload_detail
+{
+
+/** Disjoint 256 MiB address regions for workload buffers. */
+constexpr Addr
+region(unsigned i)
+{
+    return 0x1'0000'0000ULL + static_cast<Addr>(i) * 0x1000'0000ULL;
+}
+
+/** Round @p v to a multiple of @p m, at least @p m. */
+std::uint64_t roundTo(double v, std::uint64_t m);
+
+} // namespace workload_detail
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_WORKLOAD_HH

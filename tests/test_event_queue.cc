@@ -1,0 +1,156 @@
+/** @file Unit tests for the event queue and events. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace migc;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.numProcessed(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper a([&] { order.push_back(1); }, "a");
+    EventFunctionWrapper b([&] { order.push_back(2); }, "b");
+    EventFunctionWrapper c([&] { order.push_back(3); }, "c");
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper low([&] { order.push_back(1); }, "low",
+                             Event::cpuTickPriority);
+    EventFunctionWrapper hi([&] { order.push_back(2); }, "hi",
+                            Event::responsePriority);
+    EventFunctionWrapper first([&] { order.push_back(3); }, "first");
+    EventFunctionWrapper second([&] { order.push_back(4); }, "second");
+    eq.schedule(&low, 50);
+    eq.schedule(&first, 50);
+    eq.schedule(&second, 50);
+    eq.schedule(&hi, 50);
+    eq.run();
+    // responsePriority first, then default in insertion order, then
+    // cpuTickPriority.
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 1}));
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventFunctionWrapper a([&] { ++fired; }, "a");
+    eq.schedule(&a, 10);
+    EXPECT_TRUE(a.scheduled());
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    EventFunctionWrapper a([&] { fired_at = eq.curTick(); }, "a");
+    eq.schedule(&a, 10);
+    eq.reschedule(&a, 99);
+    eq.run();
+    EXPECT_EQ(fired_at, 99u);
+    EXPECT_EQ(eq.numProcessed(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper chain(
+        [&] {
+            if (++count < 5)
+                eq.schedule(&chain, eq.curTick() + 7);
+        },
+        "chain");
+    eq.schedule(&chain, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 28u);
+}
+
+TEST(EventQueue, RunUntilStopsOnPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    std::vector<EventFunctionWrapper *> events;
+    EventFunctionWrapper a([&] { ++count; }, "a");
+    EventFunctionWrapper b([&] { ++count; }, "b");
+    EventFunctionWrapper c([&] { ++count; }, "c");
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    eq.schedule(&c, 3);
+    bool hit = eq.runUntil([&] { return count >= 2; });
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(count, 2);
+    eq.run(); // drain the rest so destruction is clean
+}
+
+TEST(EventQueue, RunRespectsMaxEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper chain(
+        [&] {
+            ++count;
+            eq.schedule(&chain, eq.curTick() + 1);
+        },
+        "chain");
+    eq.schedule(&chain, 0);
+    auto processed = eq.run(10);
+    EXPECT_EQ(processed, 10u);
+    EXPECT_EQ(count, 10);
+    eq.deschedule(&chain);
+}
+
+TEST(EventQueue, DestructionWhileScheduledIsSafe)
+{
+    EventQueue eq;
+    {
+        EventFunctionWrapper a([] {}, "a");
+        eq.schedule(&a, 10);
+    } // destructor must deschedule
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+}
+
+TEST(EventQueue, DeterministicTieBreaking)
+{
+    // Two runs with identical scheduling produce identical order.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        for (int i = 0; i < 32; ++i) {
+            evs.push_back(std::make_unique<EventFunctionWrapper>(
+                [&order, i] { order.push_back(i); }, "e"));
+            eq.schedule(evs.back().get(), 5);
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,197 @@
+/** @file Tests for cache policies and the PC reuse predictor. */
+
+#include <gtest/gtest.h>
+
+#include "policy/cache_policy.hh"
+#include "policy/reuse_predictor.hh"
+
+using namespace migc;
+
+TEST(CachePolicy, UncachedBypassesEverything)
+{
+    CachePolicy p = CachePolicy::make(PolicyKind::uncached);
+    EXPECT_EQ(p.name, "Uncached");
+    EXPECT_FALSE(p.cacheLoadsL1);
+    EXPECT_FALSE(p.cacheLoadsL2);
+    EXPECT_FALSE(p.cacheStoresL2);
+    EXPECT_TRUE(p.fullyBypassed());
+}
+
+TEST(CachePolicy, CacheRCachesLoadsOnly)
+{
+    CachePolicy p = CachePolicy::make(PolicyKind::cacheR);
+    EXPECT_TRUE(p.cacheLoadsL1);
+    EXPECT_TRUE(p.cacheLoadsL2);
+    EXPECT_FALSE(p.cacheStoresL2);
+    EXPECT_FALSE(p.fullyBypassed());
+}
+
+TEST(CachePolicy, OptimizationsAreCumulative)
+{
+    CachePolicy ab = CachePolicy::make(PolicyKind::cacheRwAb);
+    EXPECT_TRUE(ab.allocationBypass);
+    EXPECT_FALSE(ab.cacheRinsing);
+
+    CachePolicy cr = CachePolicy::make(PolicyKind::cacheRwCr);
+    EXPECT_TRUE(cr.allocationBypass);
+    EXPECT_TRUE(cr.cacheRinsing);
+    EXPECT_FALSE(cr.pcBypassL2);
+
+    CachePolicy pcby = CachePolicy::make(PolicyKind::cacheRwPcby);
+    EXPECT_TRUE(pcby.allocationBypass);
+    EXPECT_TRUE(pcby.cacheRinsing);
+    EXPECT_TRUE(pcby.pcBypassL2);
+}
+
+TEST(CachePolicy, FromNameRoundTrips)
+{
+    for (const auto &p : CachePolicy::allPolicies()) {
+        CachePolicy q = CachePolicy::fromName(p.name);
+        EXPECT_EQ(q.name, p.name);
+        EXPECT_EQ(q.cacheLoadsL1, p.cacheLoadsL1);
+        EXPECT_EQ(q.cacheStoresL2, p.cacheStoresL2);
+        EXPECT_EQ(q.allocationBypass, p.allocationBypass);
+        EXPECT_EQ(q.cacheRinsing, p.cacheRinsing);
+        EXPECT_EQ(q.pcBypassL2, p.pcBypassL2);
+    }
+}
+
+TEST(CachePolicy, PaperOrdering)
+{
+    auto all = CachePolicy::allPolicies();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0].name, "Uncached");
+    EXPECT_EQ(all[5].name, "CacheRW-PCby");
+    EXPECT_EQ(CachePolicy::staticPolicies().size(), 3u);
+}
+
+TEST(ReusePredictor, StartsCaching)
+{
+    ReusePredictor pred;
+    EXPECT_TRUE(pred.shouldCache(0x1234, 0x40));
+}
+
+TEST(ReusePredictor, TrainsDownToBypass)
+{
+    ReusePredictor::Config cfg;
+    cfg.sampleInterval = 1 << 30; // pick a slice that never samples
+    ReusePredictor pred(cfg);
+    Addr pc = 0x500;
+    for (int i = 0; i < 8; ++i)
+        pred.trainNoReuse(pc);
+    EXPECT_EQ(pred.counterFor(pc), 0u);
+    // Find an address that is not in the sampled slice.
+    bool bypassed = false;
+    for (Addr line = 0x40; line < 0x40 * 100; line += 0x40) {
+        if (!pred.shouldCache(pc, line)) {
+            bypassed = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(bypassed);
+}
+
+TEST(ReusePredictor, TrainsBackUp)
+{
+    ReusePredictor::Config cfg;
+    cfg.sampleInterval = 1 << 30;
+    ReusePredictor pred(cfg);
+    Addr pc = 0x600;
+    for (int i = 0; i < 8; ++i)
+        pred.trainNoReuse(pc);
+    for (int i = 0; i < 8; ++i)
+        pred.trainReuse(pc);
+    EXPECT_TRUE(pred.shouldCache(pc, 0x99 * 0x40));
+}
+
+TEST(ReusePredictor, CountersSaturate)
+{
+    ReusePredictor::Config cfg;
+    cfg.counterBits = 2; // 0..3
+    cfg.initialValue = 3;
+    cfg.threshold = 2;
+    ReusePredictor pred(cfg);
+    Addr pc = 0x700;
+    for (int i = 0; i < 100; ++i)
+        pred.trainReuse(pc);
+    EXPECT_EQ(pred.counterFor(pc), 3u);
+    for (int i = 0; i < 100; ++i)
+        pred.trainNoReuse(pc);
+    EXPECT_EQ(pred.counterFor(pc), 0u);
+}
+
+TEST(ReusePredictor, SamplingOverrideKeepsTraining)
+{
+    ReusePredictor::Config cfg;
+    cfg.sampleInterval = 4;
+    ReusePredictor pred(cfg);
+    Addr pc = 0x800;
+    for (int i = 0; i < 16; ++i)
+        pred.trainNoReuse(pc);
+    // About 1/4 of lines should still be cached via sampling.
+    int cached = 0;
+    for (int i = 0; i < 400; ++i) {
+        if (pred.shouldCache(pc, 0x40ULL * i))
+            ++cached;
+    }
+    EXPECT_GT(cached, 50);
+    EXPECT_LT(cached, 200);
+}
+
+TEST(ReusePredictor, SamplingIsDeterministicPerLine)
+{
+    ReusePredictor::Config cfg;
+    cfg.sampleInterval = 4;
+    ReusePredictor pred(cfg);
+    Addr pc = 0x900;
+    for (int i = 0; i < 16; ++i)
+        pred.trainNoReuse(pc);
+    for (int i = 0; i < 64; ++i) {
+        Addr line = 0x40ULL * i;
+        EXPECT_EQ(pred.shouldCache(pc, line),
+                  pred.shouldCache(pc, line));
+    }
+}
+
+TEST(ReusePredictor, ResetRestoresInitialState)
+{
+    ReusePredictor pred;
+    Addr pc = 0xA00;
+    for (int i = 0; i < 8; ++i)
+        pred.trainNoReuse(pc);
+    pred.reset();
+    EXPECT_TRUE(pred.shouldCache(pc, 0x40));
+}
+
+/** Property sweep over predictor configurations. */
+class PredictorSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(PredictorSweep, ThresholdSemanticsHold)
+{
+    auto [bits, threshold] = GetParam();
+    if (threshold > (1u << bits) - 1)
+        GTEST_SKIP() << "threshold exceeds counter range";
+    ReusePredictor::Config cfg;
+    cfg.counterBits = bits;
+    cfg.threshold = threshold;
+    cfg.initialValue = threshold; // starts exactly at threshold
+    cfg.sampleInterval = 1 << 30;
+    ReusePredictor pred(cfg);
+    Addr pc = 0x40;
+    EXPECT_TRUE(pred.shouldCache(pc, 0x0));
+    pred.trainNoReuse(pc);
+    // One notch below threshold: bypass for non-sampled lines.
+    bool all_cache = true;
+    for (int i = 1; i < 50; ++i) {
+        if (!pred.shouldCache(pc, 0x40ULL * i))
+            all_cache = false;
+    }
+    EXPECT_FALSE(all_cache);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PredictorSweep,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                       ::testing::Values(1u, 2u, 4u)));

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared test fixtures: a mock memory endpoint and a mock requester
+ * for driving ports directly.
+ */
+
+#ifndef MIGC_TESTS_TEST_UTIL_HH
+#define MIGC_TESTS_TEST_UTIL_HH
+
+#include <deque>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/event_queue.hh"
+
+namespace migc::test
+{
+
+/**
+ * A memory endpoint that answers every request after a fixed
+ * latency, with optional bounded capacity (to exercise retry flow)
+ * and a manual mode that holds responses until released.
+ */
+class MockMem : public ResponsePort
+{
+  public:
+    MockMem(EventQueue &eq, Tick latency = 1000,
+            std::size_t capacity = SIZE_MAX, bool manual = false)
+        : ResponsePort("mock_mem"), eq_(eq), latency_(latency),
+          capacity_(capacity), manual_(manual),
+          respondEvent_([this] { respondOne(); }, "mock_mem.respond")
+    {}
+
+    bool
+    recvTimingReq(PacketPtr pkt) override
+    {
+        if (pending_.size() >= capacity_) {
+            ++rejected;
+            blocked_ = true;
+            return false;
+        }
+        switch (pkt->cmd) {
+          case MemCmd::ReadReq:
+            ++reads;
+            break;
+          case MemCmd::WriteReq:
+            ++writes;
+            break;
+          case MemCmd::WritebackDirty:
+            ++writebacks;
+            break;
+          default:
+            break;
+        }
+        addrs.push_back(pkt->addr);
+        pcs.push_back(pkt->pc);
+        flagsSeen.push_back(pkt->flags);
+        pending_.push_back(Entry{pkt, eq_.curTick() + latency_});
+        if (!manual_ && !respondEvent_.scheduled())
+            eq_.schedule(&respondEvent_, pending_.front().ready);
+        return true;
+    }
+
+    /** Manual mode: answer the oldest held request now. */
+    void
+    releaseOne()
+    {
+        if (pending_.empty())
+            return;
+        PacketPtr pkt = pending_.front().pkt;
+        pending_.pop_front();
+        pkt->makeResponse();
+        sendTimingResp(pkt);
+        if (blocked_ && pending_.size() < capacity_) {
+            blocked_ = false;
+            sendReqRetry();
+        }
+    }
+
+    void
+    releaseAll()
+    {
+        while (!pending_.empty())
+            releaseOne();
+    }
+
+    std::size_t held() const { return pending_.size(); }
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t rejected = 0;
+    std::vector<Addr> addrs;
+    std::vector<Addr> pcs;
+    std::vector<std::uint32_t> flagsSeen;
+
+  private:
+    struct Entry
+    {
+        PacketPtr pkt;
+        Tick ready;
+    };
+
+    void
+    respondOne()
+    {
+        while (!pending_.empty() &&
+               pending_.front().ready <= eq_.curTick()) {
+            releaseOne();
+        }
+        if (!pending_.empty())
+            eq_.schedule(&respondEvent_, pending_.front().ready);
+    }
+
+    EventQueue &eq_;
+    Tick latency_;
+    std::size_t capacity_;
+    bool manual_;
+    bool blocked_ = false;
+    std::deque<Entry> pending_;
+    EventFunctionWrapper respondEvent_;
+};
+
+/**
+ * A requester that sends packets and records responses; retries
+ * rejected sends automatically.
+ */
+class MockCpu : public RequestPort
+{
+  public:
+    explicit MockCpu(EventQueue &eq)
+        : RequestPort("mock_cpu"), eq_(eq),
+          retryEvent_([this] { drain(); }, "mock_cpu.retry")
+    {}
+
+    /** Queue a request; it is owned by this mock until responded. */
+    void
+    send(MemCmd cmd, Addr addr, Addr pc = 0)
+    {
+        auto *pkt = new Packet(cmd, addr, 64, eq_.curTick());
+        pkt->pc = pc;
+        sendQ_.push_back(pkt);
+        drain();
+    }
+
+    void
+    recvTimingResp(PacketPtr pkt) override
+    {
+        responses.push_back(*pkt);
+        delete pkt;
+    }
+
+    void recvReqRetry() override { drain(); }
+
+    bool allSent() const { return sendQ_.empty(); }
+
+    std::vector<Packet> responses;
+
+  private:
+    void
+    drain()
+    {
+        while (!sendQ_.empty()) {
+            if (!sendTimingReq(sendQ_.front()))
+                return;
+            sendQ_.pop_front();
+        }
+    }
+
+    EventQueue &eq_;
+    std::deque<PacketPtr> sendQ_;
+    EventFunctionWrapper retryEvent_;
+};
+
+} // namespace migc::test
+
+#endif // MIGC_TESTS_TEST_UTIL_HH

@@ -1,0 +1,173 @@
+/** @file Property tests over all 17 MI workloads. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.hh"
+
+using namespace migc;
+
+TEST(WorkloadRegistry, SeventeenWorkloadsInPaperOrder)
+{
+    auto names = workloadOrder();
+    ASSERT_EQ(names.size(), 17u);
+    EXPECT_EQ(names.front(), "DGEMM");
+    EXPECT_EQ(names.back(), "BwAct");
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 17u);
+}
+
+TEST(WorkloadRegistry, CategoriesMatchThePaper)
+{
+    EXPECT_EQ(makeWorkload("SGEMM")->category(),
+              Category::insensitive);
+    EXPECT_EQ(makeWorkload("DGEMM")->category(),
+              Category::insensitive);
+    EXPECT_EQ(makeWorkload("CM")->category(), Category::insensitive);
+    EXPECT_EQ(makeWorkload("FwAct")->category(),
+              Category::throughputSensitive);
+    EXPECT_EQ(makeWorkload("FwLRN")->category(),
+              Category::throughputSensitive);
+    EXPECT_EQ(makeWorkload("BwAct")->category(),
+              Category::throughputSensitive);
+    EXPECT_EQ(makeWorkload("FwFc")->category(),
+              Category::reuseSensitive);
+    EXPECT_EQ(makeWorkload("FwBwLSTM")->category(),
+              Category::reuseSensitive);
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadSweep, NameMatchesRegistry)
+{
+    auto wl = makeWorkload(GetParam());
+    EXPECT_EQ(wl->name(), GetParam());
+}
+
+TEST_P(WorkloadSweep, KernelsAreWellFormed)
+{
+    auto wl = makeWorkload(GetParam());
+    auto kernels = wl->kernels(0.125);
+    ASSERT_FALSE(kernels.empty());
+    for (const auto &k : kernels) {
+        EXPECT_FALSE(k.name.empty());
+        EXPECT_GT(k.numWorkgroups, 0u);
+        EXPECT_GT(k.wavesPerWorkgroup, 0u);
+        ASSERT_TRUE(static_cast<bool>(k.makeProgram));
+    }
+    // The final kernel must publish results to the host.
+    EXPECT_EQ(kernels.back().endScope, SyncScope::system);
+}
+
+TEST_P(WorkloadSweep, ProgramsAreWellFormed)
+{
+    auto wl = makeWorkload(GetParam());
+    auto kernels = wl->kernels(0.125);
+    for (const auto &k : kernels) {
+        // Check first and last workgroup, first and last wave.
+        for (std::uint32_t wg :
+             {0u, k.numWorkgroups - 1}) {
+            for (std::uint32_t wf :
+                 {0u, k.wavesPerWorkgroup - 1}) {
+                auto prog = k.makeProgram(wg, wf);
+                ASSERT_FALSE(prog.empty())
+                    << k.name << " wg " << wg << " wf " << wf;
+                for (const auto &op : prog) {
+                    if (op.type == GpuOpType::vload ||
+                        op.type == GpuOpType::vstore) {
+                        EXPECT_GT(op.lanes, 0u);
+                        EXPECT_LE(op.lanes, 64u);
+                        EXPECT_NE(op.pc, 0u)
+                            << "memory op without a PC in "
+                            << k.name;
+                    } else {
+                        EXPECT_GT(op.cycles, 0u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadSweep, ProgramGenerationIsDeterministic)
+{
+    auto wl = makeWorkload(GetParam());
+    auto k1 = wl->kernels(0.125);
+    auto k2 = wl->kernels(0.125);
+    ASSERT_EQ(k1.size(), k2.size());
+    const auto &a = k1.front();
+    const auto &b = k2.front();
+    auto pa = a.makeProgram(0, 0);
+    auto pb = b.makeProgram(0, 0);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].type, pb[i].type);
+        EXPECT_EQ(pa[i].base, pb[i].base);
+        EXPECT_EQ(pa[i].pc, pb[i].pc);
+    }
+}
+
+TEST_P(WorkloadSweep, FootprintScalesMonotonically)
+{
+    auto wl = makeWorkload(GetParam());
+    EXPECT_GT(wl->footprintBytes(0.125), 0u);
+    EXPECT_LE(wl->footprintBytes(0.125), wl->footprintBytes(1.0));
+    EXPECT_LE(wl->footprintBytes(1.0), wl->footprintBytes(4.0));
+}
+
+TEST_P(WorkloadSweep, PaperMetadataPresent)
+{
+    auto wl = makeWorkload(GetParam());
+    WorkloadInfo info = wl->paperInfo();
+    EXPECT_FALSE(info.input.empty());
+    EXPECT_FALSE(info.gpuFootprint.empty());
+    EXPECT_GE(info.totalKernels, info.uniqueKernels);
+    EXPECT_GE(info.uniqueKernels, 1u);
+}
+
+TEST_P(WorkloadSweep, MemoryOpsHaveDistinctPcsPerSite)
+{
+    // All memory ops in one program must use PCs derived from the
+    // kernel's pcBase so the reuse predictor can separate sites.
+    auto wl = makeWorkload(GetParam());
+    auto kernels = wl->kernels(0.125);
+    const auto &k = kernels.front();
+    auto prog = k.makeProgram(0, 0);
+    for (const auto &op : prog) {
+        if (op.type == GpuOpType::vload ||
+            op.type == GpuOpType::vstore) {
+            EXPECT_GE(op.pc, k.pcBase);
+            EXPECT_LT(op.pc, k.pcBase + 0x1000);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All17, WorkloadSweep,
+                         ::testing::ValuesIn(workloadOrder()));
+
+TEST(RnnWorkloads, TrainingHasMoreKernelsThanInference)
+{
+    auto fw = makeWorkload("FwLSTM");
+    auto fwbw = makeWorkload("FwBwLSTM");
+    EXPECT_GT(fwbw->kernels(0.25).size(), fw->kernels(0.25).size());
+}
+
+TEST(RnnWorkloads, InterStepBoundariesAreDeviceScope)
+{
+    auto kernels = makeWorkload("FwGRU")->kernels(0.25);
+    ASSERT_GT(kernels.size(), 2u);
+    // All but the last are device scope (weights stay in L2).
+    for (std::size_t i = 0; i + 1 < kernels.size(); ++i)
+        EXPECT_EQ(kernels[i].endScope, SyncScope::device);
+}
+
+TEST(ComposedModel, AlternatesKernelTypes)
+{
+    auto kernels = makeWorkload("CM")->kernels(0.25);
+    ASSERT_GE(kernels.size(), 6u);
+    EXPECT_EQ(kernels[0].name, "cmConvolution");
+    EXPECT_EQ(kernels[1].name, "cmActivation");
+    EXPECT_EQ(kernels[2].name, "cmPooling");
+}
