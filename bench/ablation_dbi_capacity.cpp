@@ -11,10 +11,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/runner.hh"
 #include "core/sim_config.hh"
 #include "policy/cache_policy.hh"
+#include "sim/parallel.hh"
 #include "workloads/workload.hh"
 
 int
@@ -27,16 +29,23 @@ main()
     std::printf("%9s %10s %10s %12s %14s\n", "dbi_rows", "exec(us)",
                 "row-hit", "rinse_wbs", "dram_accesses");
 
-    auto wl = makeWorkload("BwPool");
-    CachePolicy policy = CachePolicy::fromName("CacheRW-CR");
-    for (std::size_t rows : {4, 16, 64, 256}) {
+    const std::vector<std::size_t> rowCounts{4, 16, 64, 256};
+    std::vector<RunMetrics> results(rowCounts.size());
+    parallelFor(rowCounts.size(), [&](std::size_t i) {
+        auto wl = makeWorkload("BwPool");
+        CachePolicy policy = CachePolicy::fromName("CacheRW-CR");
         SimConfig cfg = SimConfig::defaultConfig();
         cfg.workloadScale = 0.25;
-        cfg.l2Bank.dbiRows = rows;
-        RunMetrics m = runWorkload(*wl, cfg, policy);
-        std::printf("%9zu %10.1f %10.3f %12.0f %14.0f\n", rows,
-                    m.execSeconds * 1e6, m.dramRowHitRate,
-                    m.rinseWritebacks, m.dramAccesses);
+        cfg.l2Bank.dbiRows = rowCounts[i];
+        results[i] = runWorkload(*wl, cfg, policy);
+    });
+
+    for (std::size_t i = 0; i < rowCounts.size(); ++i) {
+        const RunMetrics &m = results[i];
+        std::printf("%9zu %10.1f %10.3f %12.0f %14.0f\n",
+                    rowCounts[i], m.execSeconds * 1e6,
+                    m.dramRowHitRate, m.rinseWritebacks,
+                    m.dramAccesses);
     }
     return 0;
 }

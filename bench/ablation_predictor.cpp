@@ -11,10 +11,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/runner.hh"
 #include "core/sim_config.hh"
 #include "policy/cache_policy.hh"
+#include "sim/parallel.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -27,20 +29,37 @@ sweepFor(const char *workload)
     std::printf("-- %s --\n", workload);
     std::printf("%10s %8s %10s %14s %12s\n", "threshold", "sample",
                 "exec(us)", "dram_accesses", "pred_bypass");
-    auto wl = makeWorkload(workload);
-    CachePolicy policy = CachePolicy::fromName("CacheRW-PCby");
+
+    struct Point
+    {
+        unsigned threshold;
+        unsigned sample;
+    };
+    std::vector<Point> grid;
     for (unsigned threshold : {1u, 4u, 7u}) {
-        for (unsigned sample : {4u, 16u, 64u}) {
-            SimConfig cfg = SimConfig::defaultConfig();
-            cfg.workloadScale = 0.25;
-            cfg.predictor.threshold = threshold;
-            cfg.predictor.initialValue = threshold;
-            cfg.predictor.sampleInterval = sample;
-            RunMetrics m = runWorkload(*wl, cfg, policy);
-            std::printf("%10u %8u %10.1f %14.0f %12.0f\n", threshold,
-                        sample, m.execSeconds * 1e6, m.dramAccesses,
-                        m.predictorBypasses);
-        }
+        for (unsigned sample : {4u, 16u, 64u})
+            grid.push_back({threshold, sample});
+    }
+
+    // Simulate the grid in parallel; print in grid order afterwards.
+    std::vector<RunMetrics> results(grid.size());
+    parallelFor(grid.size(), [&](std::size_t i) {
+        auto wl = makeWorkload(workload);
+        CachePolicy policy = CachePolicy::fromName("CacheRW-PCby");
+        SimConfig cfg = SimConfig::defaultConfig();
+        cfg.workloadScale = 0.25;
+        cfg.predictor.threshold = grid[i].threshold;
+        cfg.predictor.initialValue = grid[i].threshold;
+        cfg.predictor.sampleInterval = grid[i].sample;
+        results[i] = runWorkload(*wl, cfg, policy);
+    });
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const RunMetrics &m = results[i];
+        std::printf("%10u %8u %10.1f %14.0f %12.0f\n",
+                    grid[i].threshold, grid[i].sample,
+                    m.execSeconds * 1e6, m.dramAccesses,
+                    m.predictorBypasses);
     }
     std::printf("\n");
 }

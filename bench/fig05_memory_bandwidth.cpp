@@ -13,6 +13,9 @@ int
 main()
 {
     migc::ExperimentSweep sweep;
+    // Simulate any missing grid points in parallel (MIGC_JOBS workers)
+    // before the serial figure assembly below.
+    sweep.prefetch({"CacheR"});
     migc::FigureData fig = migc::figure5(sweep);
     migc::printFigure(std::cout, fig, 4);
     migc::writeFigureCsv("fig05_memory_bandwidth.csv", fig);

@@ -13,6 +13,9 @@ int
 main()
 {
     migc::ExperimentSweep sweep;
+    // Simulate any missing grid points in parallel (MIGC_JOBS workers)
+    // before the serial figure assembly below.
+    sweep.prefetch(migc::ExperimentSweep::staticPolicyNames());
     migc::FigureData fig = migc::figure7(sweep);
     migc::printFigure(std::cout, fig, 4);
     migc::writeFigureCsv("fig07_dram_accesses_static.csv", fig);

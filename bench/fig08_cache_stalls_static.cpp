@@ -13,6 +13,9 @@ int
 main()
 {
     migc::ExperimentSweep sweep;
+    // Simulate any missing grid points in parallel (MIGC_JOBS workers)
+    // before the serial figure assembly below.
+    sweep.prefetch(migc::ExperimentSweep::staticPolicyNames());
     migc::FigureData fig = migc::figure8(sweep);
     migc::printFigure(std::cout, fig, 4);
     migc::writeFigureCsv("fig08_cache_stalls_static.csv", fig);

@@ -13,6 +13,9 @@ int
 main()
 {
     migc::ExperimentSweep sweep;
+    // Simulate any missing grid points in parallel (MIGC_JOBS workers)
+    // before the serial figure assembly below.
+    sweep.prefetchAll();
     migc::FigureData fig = migc::figure11(sweep);
     migc::printFigure(std::cout, fig, 4);
     migc::writeFigureCsv("fig11_dram_accesses_opts.csv", fig);

@@ -1,13 +1,30 @@
 #include "core/experiments.hh"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <utility>
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "workloads/workload.hh"
 
 namespace migc
 {
+
+namespace
+{
+
+/**
+ * Cache header tag. v2: runs are seeded per (workload, policy) via
+ * deriveSeed rather than from cfg.seed directly, so v1 caches hold
+ * incomparable numbers and must not be loaded.
+ */
+constexpr const char *kCacheTag = "# migc-sweep-v2 ";
+
+} // namespace
 
 ExperimentSweep::ExperimentSweep(SimConfig cfg) : cfg_(std::move(cfg))
 {
@@ -28,9 +45,10 @@ ExperimentSweep::loadCache()
     std::string line;
     if (!std::getline(in, line))
         return;
-    // First line carries the config signature; a mismatch (different
-    // scale/geometry) invalidates the whole cache.
-    if (line != "# " + cfg_.signature())
+    // First line carries the format tag and config signature; a
+    // mismatch (older seeding scheme, different scale/geometry)
+    // invalidates the whole cache.
+    if (line != kCacheTag + cfg_.signature())
         return;
     std::getline(in, line); // header
     while (std::getline(in, line)) {
@@ -41,17 +59,34 @@ ExperimentSweep::loadCache()
 }
 
 void
-ExperimentSweep::saveCache() const
+ExperimentSweep::saveCacheLocked() const
 {
     if (!cacheEnabled_)
         return;
-    std::ofstream out(cachePath_);
-    if (!out)
-        return;
-    out << "# " << cfg_.signature() << "\n";
-    out << RunMetrics::csvHeader() << "\n";
-    for (const auto &[key, m] : results_)
-        out << m.toCsv() << "\n";
+    // Write-then-rename keeps the cache whole even if a sweep is
+    // interrupted mid-save or two binaries race on the same file;
+    // the pid suffix keeps concurrent processes' tmp files private.
+    std::string tmp =
+        csprintf("%s.%d.tmp", cachePath_.c_str(),
+                 static_cast<int>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << kCacheTag << cfg_.signature() << "\n";
+        out << RunMetrics::csvHeader() << "\n";
+        for (const auto &[key, m] : results_)
+            out << m.toCsv() << "\n";
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), cachePath_.c_str()) != 0) {
+        warn("could not move sweep cache into place at %s",
+             cachePath_.c_str());
+        std::remove(tmp.c_str());
+    }
 }
 
 const RunMetrics &
@@ -59,28 +94,64 @@ ExperimentSweep::get(const std::string &workload,
                      const std::string &policy)
 {
     auto key = std::make_pair(workload, policy);
-    auto it = results_.find(key);
-    if (it != results_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = results_.find(key);
+        if (it != results_.end())
+            return it->second;
+    }
 
     inform("simulating %s under %s ...", workload.c_str(),
            policy.c_str());
-    auto wl = makeWorkload(workload);
-    RunMetrics m =
-        runWorkload(*wl, cfg_, CachePolicy::fromName(policy));
+    RunMetrics m = runNamedWorkload(workload, cfg_, policy);
+
+    std::lock_guard<std::mutex> lk(mu_);
     auto [ins, ok] = results_.emplace(key, std::move(m));
-    (void)ok;
-    saveCache();
+    if (ok)
+        saveCacheLocked();
     return ins->second;
 }
 
 void
 ExperimentSweep::prefetch(const std::vector<std::string> &policies)
 {
-    for (const auto &w : workloadOrder()) {
-        for (const auto &p : policies)
-            get(w, p);
+    // Collect the missing grid points, keeping the deterministic
+    // workload-major order for work distribution.
+    std::vector<std::pair<std::string, std::string>> missing;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto &w : workloadOrder()) {
+            for (const auto &p : policies) {
+                if (!results_.count({w, p}))
+                    missing.emplace_back(w, p);
+            }
+        }
     }
+    if (missing.empty())
+        return;
+
+    unsigned jobs = sweepJobs();
+    if (jobs > missing.size())
+        jobs = static_cast<unsigned>(missing.size());
+    inform("sweeping %zu (workload, policy) runs on %u worker%s ...",
+           missing.size(), jobs, jobs == 1 ? "" : "s");
+
+    // Each run builds a private System and event queue and seeds its
+    // RNG streams from the (workload, policy) labels, so the shards
+    // never share mutable simulation state. The cache is
+    // checkpointed after every completed run (writes are trivially
+    // cheap next to a simulation), so an interrupted sweep resumes
+    // from the finished runs instead of starting over.
+    parallelFor(
+        missing.size(),
+        [&](std::size_t i) {
+            const auto &[w, p] = missing[i];
+            RunMetrics m = runNamedWorkload(w, cfg_, p);
+            std::lock_guard<std::mutex> lk(mu_);
+            results_.emplace(std::make_pair(w, p), std::move(m));
+            saveCacheLocked();
+        },
+        jobs);
 }
 
 std::vector<std::string>

@@ -8,12 +8,18 @@
  * (keyed by the configuration signature) and each bench binary
  * reuses prior runs. Set MIGC_NO_CACHE=1 to force fresh simulation,
  * or MIGC_SWEEP_CACHE=<path> to relocate the cache file.
+ *
+ * prefetch() shards missing (workload, policy) runs across a thread
+ * pool (MIGC_JOBS workers, default one per core). Each run owns its
+ * System, event queue, and RNG streams, so a parallel sweep is
+ * bit-identical to a serial one.
  */
 
 #ifndef MIGC_CORE_EXPERIMENTS_HH
 #define MIGC_CORE_EXPERIMENTS_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,8 +40,16 @@ class ExperimentSweep
     const RunMetrics &get(const std::string &workload,
                           const std::string &policy);
 
-    /** Ensure all (workload x policy) combinations are available. */
+    /**
+     * Ensure all (workload x policy) combinations are available,
+     * simulating missing ones in parallel across the worker pool.
+     * The on-disk cache is checkpointed atomically after every
+     * completed run, so an interrupted sweep resumes where it left.
+     */
     void prefetch(const std::vector<std::string> &policies);
+
+    /** Prefetch the full 17-workload x 6-policy grid. */
+    void prefetchAll() { prefetch(allPolicyNames()); }
 
     const SimConfig &config() const { return cfg_; }
 
@@ -53,11 +67,16 @@ class ExperimentSweep
 
   private:
     void loadCache();
-    void saveCache() const;
+
+    /** Write the cache atomically (tmp file + rename); mu_ held. */
+    void saveCacheLocked() const;
 
     SimConfig cfg_;
     std::string cachePath_;
     bool cacheEnabled_ = true;
+
+    /** Guards results_ and the cache file across sweep workers. */
+    mutable std::mutex mu_;
     std::map<std::pair<std::string, std::string>, RunMetrics> results_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace migc
 {
@@ -63,6 +64,16 @@ runWorkload(const Workload &workload, const SimConfig &cfg,
     m.predictorBypasses = sys.totalPredictorBypasses();
     m.kernels = sys.gpu().dispatcher().kernelsLaunched();
     return m;
+}
+
+RunMetrics
+runNamedWorkload(const std::string &workload, const SimConfig &cfg,
+                 const std::string &policy)
+{
+    SimConfig run_cfg = cfg;
+    run_cfg.seed = deriveSeed(cfg.seed, workload + "/" + policy);
+    auto wl = makeWorkload(workload);
+    return runWorkload(*wl, run_cfg, CachePolicy::fromName(policy));
 }
 
 } // namespace migc

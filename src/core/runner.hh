@@ -24,6 +24,19 @@ namespace migc
 RunMetrics runWorkload(const Workload &workload, const SimConfig &cfg,
                        const CachePolicy &policy);
 
+/**
+ * Simulate the workload and policy given by name, with the run's
+ * RNG streams seeded from a private stream derived from cfg.seed
+ * and the (workload, policy) labels. Results therefore depend only
+ * on the configuration and the names - never on which thread or in
+ * which order a sweep executes the run - which is what lets
+ * ExperimentSweep shard the grid across a thread pool while staying
+ * bit-identical to a serial sweep.
+ */
+RunMetrics runNamedWorkload(const std::string &workload,
+                            const SimConfig &cfg,
+                            const std::string &policy);
+
 } // namespace migc
 
 #endif // MIGC_CORE_RUNNER_HH

@@ -2,6 +2,7 @@
 
 #include "mem/addr_utils.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace migc
 {
@@ -23,7 +24,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l1.cacheStores = false; // stores always bypass the L1
         l1.allocationBypass = policy_.allocationBypass;
         l1.rinsing = false;
-        l1.seed = cfg_.seed + i;
+        l1.seed = deriveSeed(cfg_.seed, l1.name);
         l1s_.push_back(std::make_unique<GpuCache>(
             l1, eventq_, &dram_->addressMap(), nullptr));
         gpu_->cu(i).memPort().bind(l1s_.back()->cpuSidePort());
@@ -52,7 +53,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l2.cacheStores = policy_.cacheStoresL2;
         l2.allocationBypass = policy_.allocationBypass;
         l2.rinsing = policy_.cacheRinsing;
-        l2.seed = cfg_.seed + 1000 + j;
+        l2.seed = deriveSeed(cfg_.seed, l2.name);
         l2Banks_.push_back(std::make_unique<GpuCache>(
             l2, eventq_, &dram_->addressMap(),
             policy_.pcBypassL2 ? &predictor_ : nullptr));

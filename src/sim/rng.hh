@@ -10,9 +10,54 @@
 #define MIGC_SIM_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace migc
 {
+
+/** One splitmix64 output step (Steele, Lea & Flood). */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a hash; turns a label into a seed-stream id. */
+constexpr std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/**
+ * Derive an independent seed from a base seed and a stream id.
+ *
+ * Every simulated component (and every run in a parallel sweep)
+ * seeds its own Rng from deriveSeed(base, stream), so RNG state is
+ * never shared across components or threads and results depend only
+ * on (base, stream) - not on construction or execution order.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    return splitmix64(splitmix64(base) ^ splitmix64(~stream));
+}
+
+/** Label-keyed stream, e.g. deriveSeed(seed, "FwSoft/CacheRW"). */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::string_view label)
+{
+    return deriveSeed(base, fnv1a(label));
+}
 
 /** xoshiro256** by Blackman & Vigna; public-domain algorithm. */
 class Rng
@@ -23,11 +68,8 @@ class Rng
         // Expand the seed with splitmix64 so nearby seeds diverge.
         std::uint64_t x = seed;
         for (auto &word : state_) {
+            word = splitmix64(x);
             x += 0x9E3779B97F4A7C15ULL;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-            word = z ^ (z >> 31);
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/experiments.hh"
@@ -58,8 +59,10 @@ TEST(RunMetrics, FromCsvRejectsGarbage)
 TEST(RunMetrics, HeaderFieldCountMatchesRow)
 {
     RunMetrics m;
-    m.workload = "X";
-    m.policy = "Y";
+    // std::string temporaries sidestep a GCC 12 -Wrestrict false
+    // positive on consecutive short const-char* assignments.
+    m.workload = std::string("X");
+    m.policy = std::string("Y");
     auto count_commas = [](const std::string &s) {
         return std::count(s.begin(), s.end(), ',');
     };

@@ -1,0 +1,149 @@
+/** @file Determinism regression tests: a (workload, policy, seed)
+ *  run must be bit-identical whether it executes serially or through
+ *  the parallel sweep pool, and seed streams must be stable. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "core/runner.hh"
+#include "core/sim_config.hh"
+#include "sim/parallel.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+using namespace migc;
+
+namespace
+{
+
+/** Field-by-field bitwise comparison of two runs. */
+void
+expectIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.execTicks, b.execTicks);
+    EXPECT_EQ(a.execSeconds, b.execSeconds);
+    EXPECT_EQ(a.gpuMemRequests, b.gpuMemRequests);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.dramRowHitRate, b.dramRowHitRate);
+    EXPECT_EQ(a.cacheStallCycles, b.cacheStallCycles);
+    EXPECT_EQ(a.stallsPerRequest, b.stallsPerRequest);
+    EXPECT_EQ(a.vops, b.vops);
+    EXPECT_EQ(a.gvops, b.gvops);
+    EXPECT_EQ(a.gmrps, b.gmrps);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l2Writebacks, b.l2Writebacks);
+    EXPECT_EQ(a.rinseWritebacks, b.rinseWritebacks);
+    EXPECT_EQ(a.allocBypassed, b.allocBypassed);
+    EXPECT_EQ(a.predictorBypasses, b.predictorBypasses);
+    EXPECT_EQ(a.kernels, b.kernels);
+}
+
+/** Scoped env var set/restore (duplicated from test_experiments to
+ *  keep the suites independent). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+} // namespace
+
+TEST(SeedStreams, DeriveSeedIsPureAndCollisionResistant)
+{
+    EXPECT_EQ(deriveSeed(1, "FwSoft/CacheRW"),
+              deriveSeed(1, "FwSoft/CacheRW"));
+    EXPECT_NE(deriveSeed(1, "FwSoft/CacheRW"),
+              deriveSeed(2, "FwSoft/CacheRW"));
+    EXPECT_NE(deriveSeed(1, "FwSoft/CacheRW"),
+              deriveSeed(1, "FwSoft/CacheR"));
+    EXPECT_NE(deriveSeed(1, std::uint64_t(0)),
+              deriveSeed(1, std::uint64_t(1)));
+}
+
+TEST(SeedStreams, RngSequenceIsReproducible)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    // Nearby seeds diverge immediately.
+    Rng a2(42);
+    EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Determinism, NamedRunIsRepeatable)
+{
+    SimConfig cfg = SimConfig::testConfig();
+    RunMetrics a = runNamedWorkload("FwSoft", cfg, "CacheRW");
+    RunMetrics b = runNamedWorkload("FwSoft", cfg, "CacheRW");
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, ParallelForCoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h.store(0);
+    parallelFor(hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Determinism, SerialAndParallelSweepsAreBitIdentical)
+{
+    ScopedEnv no_cache("MIGC_NO_CACHE", "1");
+    SimConfig cfg = SimConfig::testConfig();
+    const std::vector<std::string> policies{"CacheR", "CacheRW"};
+
+    ExperimentSweep serial(cfg);
+    {
+        ScopedEnv jobs("MIGC_JOBS", "1");
+        serial.prefetch(policies);
+    }
+
+    ExperimentSweep parallel(cfg);
+    {
+        ScopedEnv jobs("MIGC_JOBS", "4");
+        parallel.prefetch(policies);
+    }
+
+    for (const auto &w : workloadOrder()) {
+        for (const auto &p : policies)
+            expectIdentical(serial.get(w, p), parallel.get(w, p));
+    }
+}

@@ -1,0 +1,218 @@
+/** @file Tests for the ExperimentSweep engine: on-disk cache
+ *  round-trips, cache bypass, and static-policy selection logic. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/experiments.hh"
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+#include "workloads/workload.hh"
+
+using namespace migc;
+
+namespace
+{
+
+/** Scoped env var set/restore so tests cannot leak state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+std::string
+tempCachePath(const std::string &leaf)
+{
+    return ::testing::TempDir() + "migc_" + leaf + ".csv";
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+/** A fake metrics row so selection tests need no simulation. */
+RunMetrics
+fakeMetrics(const std::string &workload, const std::string &policy,
+            Tick exec_ticks)
+{
+    RunMetrics m;
+    m.workload = workload;
+    m.policy = policy;
+    m.execTicks = exec_ticks;
+    m.dramAccesses = 1.0;
+    return m;
+}
+
+/** Header tag the sweep cache format uses (see experiments.cc). */
+constexpr const char *kCacheTag = "# migc-sweep-v2 ";
+
+/** Seed a cache file the sweep will accept for @p cfg. */
+void
+writeCacheFile(const std::string &path, const SimConfig &cfg,
+               const std::vector<RunMetrics> &rows)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << kCacheTag << cfg.signature() << "\n";
+    out << RunMetrics::csvHeader() << "\n";
+    for (const auto &m : rows)
+        out << m.toCsv() << "\n";
+}
+
+} // namespace
+
+TEST(ExperimentSweep, CacheRoundTripBySignature)
+{
+    const std::string path = tempCachePath("roundtrip");
+    std::remove(path.c_str());
+    ScopedEnv cache("MIGC_SWEEP_CACHE", path.c_str());
+    ScopedEnv no_cache("MIGC_NO_CACHE", nullptr);
+
+    SimConfig cfg = SimConfig::testConfig();
+    RunMetrics first;
+    {
+        ExperimentSweep sweep(cfg);
+        first = sweep.get("FwSoft", "CacheRW");
+        ASSERT_TRUE(fileExists(path));
+    }
+
+    // The first cache line must carry the format tag + signature.
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, kCacheTag + cfg.signature());
+
+    // A new sweep on the same config must load the saved result
+    // rather than resimulate: doctor the cached row and confirm the
+    // doctored value (which no simulation would produce) comes back.
+    RunMetrics doctored = first;
+    doctored.execTicks = 424242;
+    writeCacheFile(path, cfg, {doctored});
+    {
+        ExperimentSweep sweep(cfg);
+        EXPECT_EQ(sweep.get("FwSoft", "CacheRW").execTicks,
+                  Tick(424242));
+    }
+
+    // A different signature (changed seed) invalidates the cache.
+    SimConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    {
+        ExperimentSweep sweep(other);
+        EXPECT_NE(sweep.get("FwSoft", "CacheRW").execTicks,
+                  Tick(424242));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentSweep, NoCacheEnvBypassesDisk)
+{
+    const std::string path = tempCachePath("bypass");
+    std::remove(path.c_str());
+    ScopedEnv cache("MIGC_SWEEP_CACHE", path.c_str());
+
+    // Plant a doctored cache: with MIGC_NO_CACHE=1 the sweep must
+    // neither read it nor overwrite it.
+    SimConfig cfg = SimConfig::testConfig();
+    writeCacheFile(path, cfg,
+                   {fakeMetrics("FwSoft", "CacheRW", 424242)});
+    {
+        ScopedEnv no_cache("MIGC_NO_CACHE", "1");
+        ExperimentSweep sweep(cfg);
+        EXPECT_NE(sweep.get("FwSoft", "CacheRW").execTicks,
+                  Tick(424242));
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    std::vector<std::string> lines;
+    do {
+        lines.push_back(line);
+    } while (std::getline(in, line));
+    EXPECT_EQ(lines.size(), 3u); // signature + header + planted row
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentSweep, StaticBestAndWorstSelection)
+{
+    const std::string path = tempCachePath("selection");
+    std::remove(path.c_str());
+    ScopedEnv cache("MIGC_SWEEP_CACHE", path.c_str());
+    ScopedEnv no_cache("MIGC_NO_CACHE", nullptr);
+
+    // Preload all three static policies so selection never
+    // simulates: CacheR fastest, Uncached slowest.
+    SimConfig cfg = SimConfig::testConfig();
+    writeCacheFile(path, cfg,
+                   {fakeMetrics("FwSoft", "Uncached", 3000),
+                    fakeMetrics("FwSoft", "CacheR", 1000),
+                    fakeMetrics("FwSoft", "CacheRW", 2000)});
+    ExperimentSweep sweep(cfg);
+    EXPECT_EQ(sweep.staticBest("FwSoft"), "CacheR");
+    EXPECT_EQ(sweep.staticWorst("FwSoft"), "Uncached");
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentSweep, PolicyNameSetsMatchThePaper)
+{
+    auto stat = ExperimentSweep::staticPolicyNames();
+    auto all = ExperimentSweep::allPolicyNames();
+    EXPECT_EQ(stat.size(), 3u);
+    EXPECT_EQ(all.size(), 6u);
+    // The static policies lead the full list, same order.
+    for (std::size_t i = 0; i < stat.size(); ++i)
+        EXPECT_EQ(all[i], stat[i]);
+}
+
+TEST(ExperimentSweep, PrefetchFillsTheGridWithoutResimulation)
+{
+    const std::string path = tempCachePath("prefetch");
+    std::remove(path.c_str());
+    ScopedEnv cache("MIGC_SWEEP_CACHE", path.c_str());
+    ScopedEnv no_cache("MIGC_NO_CACHE", nullptr);
+    ScopedEnv jobs("MIGC_JOBS", "4");
+
+    SimConfig cfg = SimConfig::testConfig();
+    ExperimentSweep sweep(cfg);
+    sweep.prefetch({"Uncached"});
+
+    // Every workload row must now be in the cache file.
+    std::ifstream in(path);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        RunMetrics m;
+        if (RunMetrics::fromCsv(line, m))
+            ++rows;
+    }
+    EXPECT_EQ(rows, workloadOrder().size());
+    std::remove(path.c_str());
+}
