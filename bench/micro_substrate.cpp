@@ -1,141 +1,371 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator substrate: event
- * queue, tag lookups, DRAM address decode, reuse predictor, DBI, and
- * the coalescer. These quantify simulator performance (events/sec),
- * not modeled-hardware performance.
+ * Self-contained perf harness for the simulator substrate.
+ *
+ * Measures events/sec (and ops/sec for the non-event scenarios)
+ * across the hot paths of the simulation core - event queue churn,
+ * reschedule-heavy timer traffic, deep queues, tag lookups, and two
+ * end-to-end workload runs with per-category event attribution - and
+ * emits the results as JSON so CI can record a perf trajectory per
+ * commit and fail on regressions.
+ *
+ * Usage:
+ *   micro_substrate [--json FILE] [--baseline FILE] [--max-regress R]
+ *
+ * --json FILE       write results to FILE as JSON.
+ * --baseline FILE   compare the headline events/sec against FILE
+ *                   (a previous --json output); exit 1 when it
+ *                   regresses by more than R (default 0.30,
+ *                   0 < R < 1).
+ *
+ * These quantify simulator performance, not modeled-hardware
+ * performance.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "cache/dbi.hh"
 #include "cache/tags.hh"
-#include "dram/address_map.hh"
-#include "gpu/coalescer.hh"
-#include "policy/reuse_predictor.hh"
+#include "core/system.hh"
+#include "policy/cache_policy.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "workloads/workload.hh"
 
 using namespace migc;
+using BenchClock = std::chrono::steady_clock;
 
-static void
-BM_EventQueueScheduleService(benchmark::State &state)
+namespace
 {
+
+double
+secondsSince(BenchClock::time_point t0)
+{
+    return std::chrono::duration<double>(BenchClock::now() - t0).count();
+}
+
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t items = 0;
+    double seconds = 0.0;
+
+    /** True when the items are simulation events (headline pool). */
+    bool eventScenario = true;
+
+    /** Per-category event counts (end-to-end scenarios only). */
+    std::vector<std::pair<std::string, std::uint64_t>> byCategory;
+
+    double rate() const { return seconds > 0 ? items / seconds : 0.0; }
+};
+
+BenchResult
+benchEqScheduleService()
+{
+    BenchResult r;
+    r.name = "eq_schedule_service";
     EventQueue eq;
     EventFunctionWrapper ev([] {}, "bm");
+    const std::uint64_t n = 20'000'000;
     Tick t = 1;
-    for (auto _ : state) {
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
         eq.schedule(&ev, t++);
         eq.serviceOne();
     }
+    r.seconds = secondsSince(t0);
+    r.items = n;
+    return r;
 }
-BENCHMARK(BM_EventQueueScheduleService);
 
-static void
-BM_EventQueueDepth(benchmark::State &state)
+BenchResult
+benchEqRescheduleStorm()
 {
-    const auto depth = static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
-        state.PauseTiming();
+    // The DRAM bank-timer pattern: a fixed population of events that
+    // constantly move around in time. The old lazy-deletion queue
+    // accumulated one stale heap entry per reschedule; the intrusive
+    // heap relocates in place.
+    BenchResult r;
+    r.name = "eq_reschedule_storm";
+    EventQueue eq;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+    Rng rng(7);
+    for (int i = 0; i < 1024; ++i) {
+        evs.push_back(std::make_unique<EventFunctionWrapper>([] {}, "bm"));
+        eq.schedule(evs.back().get(), 1'000'000 + rng.below(1'000'000));
+    }
+    const std::uint64_t n = 4'000'000;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto &ev = *evs[rng.below(evs.size())];
+        eq.reschedule(&ev, 1'000'000 + i + rng.below(1'000'000));
+    }
+    eq.run();
+    r.seconds = secondsSince(t0);
+    r.items = n;
+    return r;
+}
+
+BenchResult
+benchEqDepth()
+{
+    BenchResult r;
+    r.name = "eq_depth_16384";
+    const std::size_t depth = 16384;
+    const int reps = 100;
+    for (int rep = 0; rep < reps; ++rep) {
         EventQueue eq;
         std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
-        Rng rng(1);
+        Rng rng(static_cast<std::uint64_t>(rep + 1));
         for (std::size_t i = 0; i < depth; ++i) {
-            evs.push_back(std::make_unique<EventFunctionWrapper>(
-                [] {}, "bm"));
+            evs.push_back(
+                std::make_unique<EventFunctionWrapper>([] {}, "bm"));
             eq.schedule(evs.back().get(), rng.below(1'000'000));
         }
-        state.ResumeTiming();
+        auto t0 = BenchClock::now();
         eq.run();
+        r.seconds += secondsSince(t0);
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * depth);
+    r.items = depth * reps;
+    return r;
 }
-BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(16384);
 
-static void
-BM_TagsLookupHit(benchmark::State &state)
+BenchResult
+benchTagsLookupHit()
 {
+    BenchResult r;
+    r.name = "tags_lookup_hit";
+    r.eventScenario = false;
     Tags tags(1 << 20, 16, 64, ReplKind::lru);
     for (Addr a = 0; a < (1 << 20); a += 64) {
         CacheBlk *v = tags.findVictim(a);
         tags.insert(v, a, BlkState::valid, 0);
     }
     Rng rng(2);
-    for (auto _ : state) {
+    const std::uint64_t n = 40'000'000;
+    std::uint64_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
         Addr a = rng.below((1 << 20) / 64) * 64;
-        benchmark::DoNotOptimize(tags.findBlock(a));
+        sink += tags.findBlock(a) != nullptr;
     }
+    r.seconds = secondsSince(t0);
+    r.items = n;
+    if (sink != n)
+        std::fprintf(stderr, "tags_lookup_hit: unexpected misses\n");
+    return r;
 }
-BENCHMARK(BM_TagsLookupHit);
 
-static void
-BM_TagsVictimSearch(benchmark::State &state)
+BenchResult
+benchTagsVictimSearch()
 {
+    BenchResult r;
+    r.name = "tags_victim_search";
+    r.eventScenario = false;
     Tags tags(1 << 16, 16, 64, ReplKind::lru);
     for (Addr a = 0; a < (1 << 16); a += 64) {
         CacheBlk *v = tags.findVictim(a);
         tags.insert(v, a, BlkState::valid, 0);
     }
     Rng rng(3);
-    for (auto _ : state) {
+    const std::uint64_t n = 20'000'000;
+    std::uint64_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
         Addr a = rng.below(1 << 24) & ~63ULL;
-        benchmark::DoNotOptimize(tags.findVictim(a));
+        sink += tags.findVictim(a) != nullptr;
     }
+    r.seconds = secondsSince(t0);
+    r.items = n;
+    (void)sink;
+    return r;
 }
-BENCHMARK(BM_TagsVictimSearch);
 
-static void
-BM_AddressDecode(benchmark::State &state)
+BenchResult
+benchEndToEnd(const std::string &workload, const std::string &policy)
 {
-    DramConfig cfg;
-    AddressMap map(cfg);
-    Rng rng(4);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            map.decode(rng.below(1ULL << 34) & ~63ULL));
+    BenchResult r;
+    r.name = "end_to_end_" + workload + "_" + policy;
+    SimConfig cfg = SimConfig::testConfig();
+    cfg.seed = deriveSeed(cfg.seed, workload + "/" + policy);
+    auto wl = makeWorkload(workload);
+    System sys(cfg, CachePolicy::fromName(policy));
+    bool done = false;
+    auto t0 = BenchClock::now();
+    sys.gpu().dispatcher().run(wl->kernels(cfg.workloadScale),
+                               [&done] { done = true; });
+    sys.eventQueue().runUntil([&done] { return done; });
+    r.seconds = secondsSince(t0);
+    r.items = sys.eventQueue().numProcessed();
+    for (std::size_t c = 0; c < numEventCategories; ++c) {
+        auto cat = static_cast<EventCategory>(c);
+        r.byCategory.emplace_back(eventCategoryName(cat),
+                                  sys.eventQueue().numProcessed(cat));
     }
+    return r;
 }
-BENCHMARK(BM_AddressDecode);
 
-static void
-BM_PredictorLookup(benchmark::State &state)
+double
+geomeanRate(const std::vector<BenchResult> &results, bool events_only)
 {
-    ReusePredictor pred;
-    Rng rng(5);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            pred.shouldCache(rng.below(4096) * 4, rng.below(1 << 20)));
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &r : results) {
+        if (events_only && !r.eventScenario)
+            continue;
+        if (r.rate() <= 0)
+            continue;
+        log_sum += std::log(r.rate());
+        ++n;
     }
+    return n > 0 ? std::exp(log_sum / n) : 0.0;
 }
-BENCHMARK(BM_PredictorLookup);
 
-static void
-BM_DbiAddTake(benchmark::State &state)
+std::string
+toJson(const std::vector<BenchResult> &results, double headline)
 {
-    DirtyBlockIndex dbi(64);
-    Rng rng(6);
-    for (auto _ : state) {
-        std::uint64_t row = rng.below(256);
-        Addr line = rng.below(1 << 16) * 64;
-        benchmark::DoNotOptimize(dbi.add(row, line));
-        if (rng.chance(0.1))
-            benchmark::DoNotOptimize(dbi.takeRow(row, line));
+    std::ostringstream os;
+    os << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "    {\"name\": \"" << r.name << "\", \"items\": "
+           << r.items << ", \"seconds\": " << r.seconds
+           << ", \"rate\": " << r.rate();
+        if (!r.byCategory.empty()) {
+            os << ", \"events_by_category\": {";
+            for (std::size_t c = 0; c < r.byCategory.size(); ++c) {
+                os << "\"" << r.byCategory[c].first
+                   << "\": " << r.byCategory[c].second;
+                if (c + 1 < r.byCategory.size())
+                    os << ", ";
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"headline_events_per_sec\": " << headline << "\n}\n";
+    return os.str();
 }
-BENCHMARK(BM_DbiAddTake);
 
-static void
-BM_Coalesce64Lanes(benchmark::State &state)
+/**
+ * Extract a numeric field from one of our own JSON files. Minimal by
+ * design: the harness only ever reads files it wrote itself.
+ */
+bool
+extractNumber(const std::string &json, const std::string &key,
+              double &out)
 {
-    GpuOp op;
-    op.type = GpuOpType::vload;
-    op.base = 0x1000;
-    op.laneStride = 4;
-    op.lanes = 64;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(coalesce(op, 64));
+    auto pos = json.find("\"" + key + "\":");
+    if (pos == std::string::npos)
+        return false;
+    pos = json.find(':', pos);
+    return std::sscanf(json.c_str() + pos + 1, "%lf", &out) == 1;
 }
-BENCHMARK(BM_Coalesce64Lanes);
 
-BENCHMARK_MAIN();
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string baseline_path;
+    double max_regress = 0.30;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--max-regress" && i + 1 < argc) {
+            char *end = nullptr;
+            max_regress = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || max_regress <= 0.0 ||
+                max_regress >= 1.0) {
+                std::fprintf(stderr,
+                             "--max-regress wants a fraction in (0, 1), "
+                             "got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json FILE] [--baseline FILE] "
+                         "[--max-regress R]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<BenchResult> results;
+    results.push_back(benchEqScheduleService());
+    results.push_back(benchEqRescheduleStorm());
+    results.push_back(benchEqDepth());
+    results.push_back(benchTagsLookupHit());
+    results.push_back(benchTagsVictimSearch());
+    results.push_back(benchEndToEnd("FwPool", "CacheRW"));
+    results.push_back(benchEndToEnd("FwAct", "CacheRW-PCby"));
+
+    const double headline = geomeanRate(results, true);
+
+    for (const auto &r : results) {
+        std::printf("%-32s %12.0f /s  (%llu items, %.3fs)\n",
+                    r.name.c_str(), r.rate(),
+                    static_cast<unsigned long long>(r.items), r.seconds);
+        for (const auto &[cat, count] : r.byCategory) {
+            if (count > 0)
+                std::printf("    %-28s %12llu events\n", cat.c_str(),
+                            static_cast<unsigned long long>(count));
+        }
+    }
+    std::printf("%-32s %12.0f events/s (geomean of event scenarios)\n",
+                "headline", headline);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 2;
+        }
+        out << toJson(results, headline);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        double base_headline = 0.0;
+        if (!extractNumber(buf.str(), "headline_events_per_sec",
+                           base_headline) ||
+            base_headline <= 0) {
+            std::fprintf(stderr, "baseline %s has no headline\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        double ratio = headline / base_headline;
+        std::printf("baseline headline %.0f events/s -> ratio %.2f\n",
+                    base_headline, ratio);
+        if (ratio < 1.0 - max_regress) {
+            std::fprintf(stderr,
+                         "FAIL: headline events/sec regressed %.0f%% "
+                         "(limit %.0f%%)\n",
+                         (1.0 - ratio) * 100.0, max_regress * 100.0);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -8,9 +8,10 @@ namespace migc
 {
 
 GpuCache::GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
-                   const AddressMap *addr_map, ReusePredictor *predictor)
+                   PacketPool &pool, const AddressMap *addr_map,
+                   ReusePredictor *predictor)
     : SimObject(cfg.name, eq, ClockDomain(cfg.clockPeriod)), cfg_(cfg),
-      addrMap_(addr_map), predictor_(predictor),
+      pktPool_(pool), addrMap_(addr_map), predictor_(predictor),
       tags_(cfg.size, cfg.assoc, cfg.lineSize, cfg.repl, cfg.seed,
             cfg.bankInterleaveBits),
       mshrs_(cfg.mshrs, cfg.targetsPerMshr),
@@ -18,7 +19,8 @@ GpuCache::GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
       memPort_(cfg.name + ".mem_side", *this),
       respQueue_(eq, cpuPort_, cfg.name + ".respq"),
       memQueue_(eq, memPort_, cfg.name + ".memq", cfg.memQueueDepth),
-      wbDrainEvent_([this] { drainWritebacks(); }, cfg.name + ".wbdrain"),
+      wbDrainEvent_([this] { drainWritebacks(); }, cfg.name + ".wbdrain",
+                    Event::defaultPriority, EventCategory::cache),
       retryEvent_(
           [this] {
               if (retryNeeded_) {
@@ -26,7 +28,8 @@ GpuCache::GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
                   cpuPort_.sendReqRetry();
               }
           },
-          cfg.name + ".retry")
+          cfg.name + ".retry", Event::defaultPriority,
+          EventCategory::cache)
 {
     fatal_if(cfg.rinsing && addr_map == nullptr,
              "cache rinsing requires a DRAM address map for row ids");
@@ -230,8 +233,8 @@ GpuCache::cachedRead(PacketPtr pkt)
 
     tags_.insert(victim, pkt->addr, BlkState::busy, pkt->pc);
 
-    auto *fill = new Packet(MemCmd::ReadReq, pkt->addr, cfg_.lineSize,
-                            curTick());
+    Packet *fill = pktPool_.alloc(MemCmd::ReadReq, pkt->addr,
+                                  cfg_.lineSize, curTick());
     fill->pc = pkt->pc;
     fill->cuId = pkt->cuId;
 
@@ -373,8 +376,8 @@ GpuCache::bypassRead(PacketPtr pkt)
         return reject(RejectReason::memQueueFull, false);
 
     ++statBypassReads_;
-    auto *fwd = new Packet(MemCmd::ReadReq, pkt->addr, cfg_.lineSize,
-                           curTick());
+    Packet *fwd = pktPool_.alloc(MemCmd::ReadReq, pkt->addr,
+                                 cfg_.lineSize, curTick());
     fwd->pc = pkt->pc;
     fwd->cuId = pkt->cuId;
     fwd->flags = pkt->flags;
@@ -436,6 +439,9 @@ void
 GpuCache::evictBlock(CacheBlk *blk)
 {
     panic_if(!blk->isValid(), "evicting an invalid block");
+    debug_log("%s: evict %#llx%s", name().c_str(),
+              static_cast<unsigned long long>(blk->addr),
+              blk->isDirty() ? " (dirty)" : "");
 
     if (blk->isDirty()) {
         scheduleWriteback(blk->addr, pktFlagNone);
@@ -479,8 +485,8 @@ GpuCache::drainWritebacks()
     while (!wbQueue_.empty() && !memQueue_.full()) {
         PendingWb wb = wbQueue_.front();
         wbQueue_.pop_front();
-        auto *pkt = new Packet(MemCmd::WritebackDirty, wb.lineAddr,
-                               cfg_.lineSize, curTick());
+        Packet *pkt = pktPool_.alloc(MemCmd::WritebackDirty, wb.lineAddr,
+                                     cfg_.lineSize, curTick());
         pkt->flags = wb.flags;
         memQueue_.push(pkt, curTick());
     }
@@ -540,6 +546,8 @@ GpuCache::completeFill(PacketPtr fill_pkt)
     Addr line = fill_pkt->addr;
     Mshr *mshr = mshrs_.find(line);
     panic_if(mshr == nullptr, "fill without MSHR");
+    debug_log("%s: fill %s (%zu targets)", name().c_str(),
+              fill_pkt->print().c_str(), mshr->targets.size());
     CacheBlk *blk = mshr->blk;
     panic_if(!blk->isBusy(), "fill into a non-busy block");
 
@@ -571,7 +579,7 @@ GpuCache::completeFill(PacketPtr fill_pkt)
     }
 
     mshrs_.deallocate(line);
-    delete fill_pkt;
+    pktPool_.release(fill_pkt);
     maybeSendRetry();
 }
 
@@ -587,7 +595,7 @@ GpuCache::completeBypassRead(PacketPtr fwd_pkt)
         respQueue_.push(target, ready);
     }
     bypassPending_.erase(it);
-    delete fwd_pkt;
+    pktPool_.release(fwd_pkt);
     maybeSendRetry();
 }
 
@@ -596,7 +604,7 @@ GpuCache::handleWritebackResp(PacketPtr pkt)
 {
     panic_if(outstandingWbs_ == 0, "writeback ack without writeback");
     --outstandingWbs_;
-    delete pkt;
+    pktPool_.release(pkt);
     checkFlushDone();
     maybeSendRetry();
 }

@@ -33,6 +33,7 @@
 #include "cache/mshr.hh"
 #include "cache/tags.hh"
 #include "dram/address_map.hh"
+#include "mem/packet_pool.hh"
 #include "mem/packet_queue.hh"
 #include "mem/port.hh"
 #include "policy/reuse_predictor.hh"
@@ -96,7 +97,7 @@ class GpuCache : public SimObject
      * @param predictor shared PC reuse predictor, or null to disable
      *                  prediction at this cache.
      */
-    GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
+    GpuCache(const GpuCacheConfig &cfg, EventQueue &eq, PacketPool &pool,
              const AddressMap *addr_map, ReusePredictor *predictor);
 
     ~GpuCache() override;
@@ -233,6 +234,7 @@ class GpuCache : public SimObject
     void trainOnEviction(const CacheBlk &blk);
 
     GpuCacheConfig cfg_;
+    PacketPool &pktPool_;
     const AddressMap *addrMap_;
     ReusePredictor *predictor_;
 

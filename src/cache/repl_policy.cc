@@ -12,10 +12,10 @@ class LruPolicy : public ReplPolicy
 {
   public:
     std::size_t
-    victim(const std::vector<CacheBlk *> &candidates) override
+    victim(CacheBlk *const *candidates, std::size_t count) override
     {
         std::size_t best = 0;
-        for (std::size_t i = 1; i < candidates.size(); ++i) {
+        for (std::size_t i = 1; i < count; ++i) {
             if (candidates[i]->lastTouch < candidates[best]->lastTouch)
                 best = i;
         }
@@ -29,10 +29,10 @@ class FifoPolicy : public ReplPolicy
 {
   public:
     std::size_t
-    victim(const std::vector<CacheBlk *> &candidates) override
+    victim(CacheBlk *const *candidates, std::size_t count) override
     {
         std::size_t best = 0;
-        for (std::size_t i = 1; i < candidates.size(); ++i) {
+        for (std::size_t i = 1; i < count; ++i) {
             if (candidates[i]->insertStamp < candidates[best]->insertStamp)
                 best = i;
         }
@@ -48,9 +48,10 @@ class RandomPolicy : public ReplPolicy
     explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
 
     std::size_t
-    victim(const std::vector<CacheBlk *> &candidates) override
+    victim(CacheBlk *const *candidates, std::size_t count) override
     {
-        return static_cast<std::size_t>(rng_.below(candidates.size()));
+        (void)candidates;
+        return static_cast<std::size_t>(rng_.below(count));
     }
 
     std::string name() const override { return "random"; }

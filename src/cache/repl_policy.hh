@@ -30,11 +30,19 @@ class ReplPolicy
     virtual ~ReplPolicy() = default;
 
     /**
-     * Pick a victim among @p candidates (all non-busy, non-empty).
-     * @return index into @p candidates.
+     * Pick a victim among the @p count blocks at @p candidates (all
+     * non-busy, non-empty; count >= 1).
+     * @return index into the candidate array.
      */
-    virtual std::size_t
-    victim(const std::vector<CacheBlk *> &candidates) = 0;
+    virtual std::size_t victim(CacheBlk *const *candidates,
+                               std::size_t count) = 0;
+
+    /** Convenience overload for tests and ad-hoc callers. */
+    std::size_t
+    victim(const std::vector<CacheBlk *> &candidates)
+    {
+        return victim(candidates.data(), candidates.size());
+    }
 
     virtual std::string name() const = 0;
 

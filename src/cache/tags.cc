@@ -21,7 +21,7 @@ Tags::Tags(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
 
     setShift_ = floorLog2(line_size) + interleave_bits;
     blocks_.resize(static_cast<std::size_t>(numSets_) * assoc_);
-    scratch_.reserve(assoc_);
+    scratch_ = std::make_unique<CacheBlk *[]>(assoc_);
 }
 
 unsigned
@@ -33,12 +33,15 @@ Tags::setIndex(Addr addr) const
 CacheBlk *
 Tags::findBlock(Addr addr)
 {
-    Addr line = lineAlign(addr);
-    std::size_t base = static_cast<std::size_t>(setIndex(addr)) * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        CacheBlk &blk = blocks_[base + w];
-        if (blk.state != BlkState::invalid && blk.addr == line)
-            return &blk;
+    // Flat pointer walk over the set: the tag compare leads so the
+    // common miss-on-way case is a single well-predicted branch per
+    // way (state only needs checking on a tag match).
+    const Addr line = lineAlign(addr);
+    CacheBlk *blk = setBase(addr);
+    CacheBlk *const end = blk + assoc_;
+    for (; blk != end; ++blk) {
+        if (blk->addr == line && blk->state != BlkState::invalid)
+            return blk;
     }
     return nullptr;
 }
@@ -46,18 +49,20 @@ Tags::findBlock(Addr addr)
 CacheBlk *
 Tags::findVictim(Addr addr)
 {
-    std::size_t base = static_cast<std::size_t>(setIndex(addr)) * assoc_;
-    scratch_.clear();
-    for (unsigned w = 0; w < assoc_; ++w) {
-        CacheBlk &blk = blocks_[base + w];
-        if (blk.state == BlkState::invalid)
-            return &blk;
-        if (!blk.isBusy())
-            scratch_.push_back(&blk);
+    CacheBlk *blk = setBase(addr);
+    CacheBlk *const end = blk + assoc_;
+    CacheBlk **cand = scratch_.get();
+    for (; blk != end; ++blk) {
+        if (blk->state == BlkState::invalid)
+            return blk;
+        if (!blk->isBusy())
+            *cand++ = blk;
     }
-    if (scratch_.empty())
+    const auto count =
+        static_cast<std::size_t>(cand - scratch_.get());
+    if (count == 0)
         return nullptr; // every way busy: allocation would block
-    return scratch_[repl_->victim(scratch_)];
+    return scratch_[repl_->victim(scratch_.get(), count)];
 }
 
 void

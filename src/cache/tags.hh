@@ -77,6 +77,14 @@ class Tags
     std::uint64_t countState(BlkState state) const;
 
   private:
+    /** First block of the set holding @p addr. */
+    CacheBlk *
+    setBase(Addr addr)
+    {
+        return &blocks_[static_cast<std::size_t>(setIndex(addr)) *
+                        assoc_];
+    }
+
     unsigned numSets_;
     unsigned assoc_;
     unsigned lineSize_;
@@ -85,7 +93,8 @@ class Tags
     std::vector<CacheBlk> blocks_;
     std::unique_ptr<ReplPolicy> repl_;
     std::uint64_t stamp_ = 0;
-    std::vector<CacheBlk *> scratch_; ///< victim candidate buffer
+    /** Victim candidate buffer: assoc_ slots, allocated once. */
+    std::unique_ptr<CacheBlk *[]> scratch_;
 };
 
 } // namespace migc

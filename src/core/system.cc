@@ -14,7 +14,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
     dram_ = std::make_unique<DramCtrl>("dram", eventq_, cfg_.dram,
                                        cfg_.l2Banks);
 
-    gpu_ = std::make_unique<Gpu>("gpu", eventq_, cfg_.gpu);
+    gpu_ = std::make_unique<Gpu>("gpu", eventq_, pktPool_, cfg_.gpu);
 
     // Per-CU L1s with the policy's L1 behavior.
     for (unsigned i = 0; i < cfg_.gpu.numCus; ++i) {
@@ -26,7 +26,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l1.rinsing = false;
         l1.seed = deriveSeed(cfg_.seed, l1.name);
         l1s_.push_back(std::make_unique<GpuCache>(
-            l1, eventq_, &dram_->addressMap(), nullptr));
+            l1, eventq_, pktPool_, &dram_->addressMap(), nullptr));
         gpu_->cu(i).memPort().bind(l1s_.back()->cpuSidePort());
     }
 
@@ -55,7 +55,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l2.rinsing = policy_.cacheRinsing;
         l2.seed = deriveSeed(cfg_.seed, l2.name);
         l2Banks_.push_back(std::make_unique<GpuCache>(
-            l2, eventq_, &dram_->addressMap(),
+            l2, eventq_, pktPool_, &dram_->addressMap(),
             policy_.pcBypassL2 ? &predictor_ : nullptr));
         xbar_->memSidePort(j).bind(l2Banks_.back()->cpuSidePort());
         l2Banks_.back()->memSidePort().bind(dram_->clientPort(j));

@@ -15,6 +15,7 @@
 #include "core/sim_config.hh"
 #include "dram/dram_ctrl.hh"
 #include "gpu/gpu.hh"
+#include "mem/packet_pool.hh"
 #include "mem/xbar.hh"
 #include "policy/cache_policy.hh"
 #include "policy/reuse_predictor.hh"
@@ -30,6 +31,9 @@ class System
     System(const SimConfig &cfg, const CachePolicy &policy);
 
     EventQueue &eventQueue() { return eventq_; }
+
+    /** Shared packet recycler for every component in this system. */
+    PacketPool &packetPool() { return pktPool_; }
 
     Gpu &gpu() { return *gpu_; }
 
@@ -70,6 +74,9 @@ class System
     SimConfig cfg_;
     CachePolicy policy_;
     EventQueue eventq_;
+    /** Declared before the components so packet storage outlives
+     *  anything that might still reference it at teardown. */
+    PacketPool pktPool_;
     ReusePredictor predictor_;
 
     std::unique_ptr<Gpu> gpu_;

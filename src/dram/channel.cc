@@ -13,7 +13,8 @@ Channel::Channel(std::string name, EventQueue &eq, const DramConfig &cfg,
     : SimObject(std::move(name), eq, ClockDomain(cfg.tBurst)),
       cfg_(cfg), map_(map), index_(index), respond_(std::move(respond)),
       spaceFreed_(std::move(space_freed)), banks_(cfg.banksPerChannel),
-      serviceEvent_([this] { serviceQueues(); }, this->name() + ".service")
+      serviceEvent_([this] { serviceQueues(); }, this->name() + ".service",
+                    Event::defaultPriority, EventCategory::dram)
 {}
 
 bool

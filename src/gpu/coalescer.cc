@@ -8,22 +8,34 @@
 namespace migc
 {
 
-std::vector<Addr>
-coalesce(const GpuOp &op, unsigned line_size)
+void
+coalesceInto(const GpuOp &op, unsigned line_size, std::vector<Addr> &out)
 {
     panic_if(op.type != GpuOpType::vload && op.type != GpuOpType::vstore,
              "coalescing a non-memory op");
 
-    std::vector<Addr> lines;
-    lines.reserve(8);
+    out.clear();
     for (std::uint32_t lane = 0; lane < op.lanes; ++lane) {
         Addr a = static_cast<Addr>(
             static_cast<std::int64_t>(op.base) +
             static_cast<std::int64_t>(lane) * op.laneStride);
         Addr line = alignDown(a, line_size);
-        if (std::find(lines.begin(), lines.end(), line) == lines.end())
-            lines.push_back(line);
+        // Lane addresses overwhelmingly walk one line at a time, so
+        // the previous unique line answers almost every duplicate;
+        // fall back to the full first-touch-order scan otherwise.
+        if (!out.empty() && out.back() == line)
+            continue;
+        if (std::find(out.begin(), out.end(), line) == out.end())
+            out.push_back(line);
     }
+}
+
+std::vector<Addr>
+coalesce(const GpuOp &op, unsigned line_size)
+{
+    std::vector<Addr> lines;
+    lines.reserve(8);
+    coalesceInto(op, line_size, lines);
     return lines;
 }
 

@@ -17,9 +17,17 @@ namespace migc
 {
 
 /**
- * Coalesce @p op's lane addresses into unique line-aligned addresses.
+ * Coalesce @p op's lane addresses into unique line-aligned addresses,
+ * reusing @p out's storage (cleared first). The hot path: a blocked
+ * vector memory op is re-considered every CU tick, so the caller
+ * caches the result and this function must not allocate in steady
+ * state.
  * @param line_size cache line size in bytes (power of two).
  */
+void coalesceInto(const GpuOp &op, unsigned line_size,
+                  std::vector<Addr> &out);
+
+/** Convenience wrapper returning a fresh vector (tests, benches). */
 std::vector<Addr> coalesce(const GpuOp &op, unsigned line_size);
 
 } // namespace migc

@@ -9,16 +9,17 @@ namespace migc
 {
 
 ComputeUnit::ComputeUnit(std::string name, EventQueue &eq,
-                         const GpuConfig &cfg, unsigned cu_id)
+                         PacketPool &pool, const GpuConfig &cfg,
+                         unsigned cu_id)
     : SimObject(std::move(name), eq, ClockDomain(cfg.clockPeriod)),
-      cfg_(cfg), cuId_(cu_id),
+      pktPool_(pool), cfg_(cfg), cuId_(cu_id),
       slots_(static_cast<std::size_t>(cfg.simdsPerCu) *
              cfg.wfSlotsPerSimd),
       simdBusyUntil_(cfg.simdsPerCu, 0),
       simdRoundRobin_(cfg.simdsPerCu, 0),
       memPort_(this->name() + ".mem", *this),
       tickEvent_([this] { tick(); }, this->name() + ".tick",
-                 Event::cpuTickPriority)
+                 Event::cpuTickPriority, EventCategory::gpu)
 {}
 
 unsigned
@@ -162,7 +163,11 @@ ComputeUnit::executeOp(int slot_index, Wavefront &wf)
 
       case GpuOpType::vload:
       case GpuOpType::vstore: {
-        auto lines = coalesce(op, cfg_.lineSize);
+        if (wf.coalescedPc != wf.pcIdx) {
+            coalesceInto(op, cfg_.lineSize, wf.coalesced);
+            wf.coalescedPc = wf.pcIdx;
+        }
+        const std::vector<Addr> &lines = wf.coalesced;
         if (memQueue_.size() + lines.size() > cfg_.memQueueDepth)
             return false; // try again when the queue drains
         bool is_load = op.type == GpuOpType::vload;
@@ -204,9 +209,9 @@ ComputeUnit::issueMemory()
     while (!memQueue_.empty() && !portBlocked_ &&
            sent < cfg_.memIssueWidth) {
         const PendingLine &pl = memQueue_.front();
-        auto *pkt = new Packet(pl.isLoad ? MemCmd::ReadReq
-                                         : MemCmd::WriteReq,
-                               pl.addr, cfg_.lineSize, curTick());
+        Packet *pkt = pktPool_.alloc(pl.isLoad ? MemCmd::ReadReq
+                                               : MemCmd::WriteReq,
+                                     pl.addr, cfg_.lineSize, curTick());
         pkt->pc = pl.pc;
         pkt->cuId = static_cast<int>(cuId_);
         if (pl.isLoad)
@@ -215,7 +220,7 @@ ComputeUnit::issueMemory()
         if (!memPort_.sendTimingReq(pkt)) {
             if (pl.isLoad)
                 loadCtx_.erase(pkt->id);
-            delete pkt;
+            pktPool_.release(pkt);
             portBlocked_ = true;
             return;
         }
@@ -243,13 +248,13 @@ ComputeUnit::handleResponse(PacketPtr pkt)
         }
         if (wf.complete())
             wavefrontFinished(slot);
-        delete pkt;
+        pktPool_.release(pkt);
         break;
       }
       case MemCmd::WriteResp:
         panic_if(outstandingStores_ == 0, "spurious store ack");
         --outstandingStores_;
-        delete pkt;
+        pktPool_.release(pkt);
         break;
       default:
         panic("unexpected response %s at CU %u", pkt->print().c_str(),

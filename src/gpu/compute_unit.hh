@@ -17,6 +17,7 @@
 
 #include "gpu/gpu_config.hh"
 #include "gpu/wavefront.hh"
+#include "mem/packet_pool.hh"
 #include "mem/port.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -27,8 +28,8 @@ namespace migc
 class ComputeUnit : public SimObject
 {
   public:
-    ComputeUnit(std::string name, EventQueue &eq, const GpuConfig &cfg,
-                unsigned cu_id);
+    ComputeUnit(std::string name, EventQueue &eq, PacketPool &pool,
+                const GpuConfig &cfg, unsigned cu_id);
 
     /** Port to bind to this CU's L1 cpu-side port. */
     RequestPort &memPort() { return memPort_; }
@@ -109,6 +110,7 @@ class ComputeUnit : public SimObject
         ComputeUnit &cu_;
     };
 
+    PacketPool &pktPool_;
     GpuConfig cfg_;
     unsigned cuId_;
 

@@ -10,8 +10,10 @@ Dispatcher::Dispatcher(std::string name, EventQueue &eq,
                        std::vector<ComputeUnit *> cus)
     : SimObject(std::move(name), eq, ClockDomain(cfg.clockPeriod)),
       cfg_(cfg), cus_(std::move(cus)),
-      launchEvent_([this] { launchKernel(); }, this->name() + ".launch"),
-      drainEvent_([this] { drainPoll(); }, this->name() + ".drain")
+      launchEvent_([this] { launchKernel(); }, this->name() + ".launch",
+                   Event::defaultPriority, EventCategory::gpu),
+      drainEvent_([this] { drainPoll(); }, this->name() + ".drain",
+                  Event::defaultPriority, EventCategory::gpu)
 {
     fatal_if(cus_.empty(), "dispatcher needs at least one CU");
     for (auto *cu : cus_) {

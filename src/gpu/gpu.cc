@@ -5,7 +5,8 @@
 namespace migc
 {
 
-Gpu::Gpu(const std::string &name, EventQueue &eq, const GpuConfig &cfg)
+Gpu::Gpu(const std::string &name, EventQueue &eq, PacketPool &pool,
+         const GpuConfig &cfg)
     : cfg_(cfg)
 {
     fatal_if(cfg.numCus == 0, "GPU needs at least one CU");
@@ -13,7 +14,7 @@ Gpu::Gpu(const std::string &name, EventQueue &eq, const GpuConfig &cfg)
     std::vector<ComputeUnit *> raw;
     for (unsigned i = 0; i < cfg.numCus; ++i) {
         cus_.push_back(std::make_unique<ComputeUnit>(
-            name + csprintf(".cu%u", i), eq, cfg, i));
+            name + csprintf(".cu%u", i), eq, pool, cfg, i));
         raw.push_back(cus_.back().get());
     }
     dispatcher_ = std::make_unique<Dispatcher>(name + ".dispatcher", eq,

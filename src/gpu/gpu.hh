@@ -20,7 +20,8 @@ namespace migc
 class Gpu
 {
   public:
-    Gpu(const std::string &name, EventQueue &eq, const GpuConfig &cfg);
+    Gpu(const std::string &name, EventQueue &eq, PacketPool &pool,
+        const GpuConfig &cfg);
 
     unsigned numCus() const { return static_cast<unsigned>(cus_.size()); }
 

@@ -7,6 +7,7 @@
 #define MIGC_GPU_WAVEFRONT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "gpu/kernel.hh"
 #include "sim/types.hh"
@@ -30,6 +31,16 @@ struct Wavefront
     /** Parked at a waitLoads op. */
     bool waitingMem = false;
 
+    /**
+     * Coalesced lines of the memory op at @c coalescedPc. A blocked
+     * vload/vstore is re-considered every CU tick; coalescing is a
+     * pure function of the op, so the CU computes it once per
+     * program counter and reuses the buffer (storage persists across
+     * reset() to stay allocation-free between wavefronts).
+     */
+    std::vector<Addr> coalesced;
+    std::size_t coalescedPc = SIZE_MAX;
+
     /** All instructions retired (loads may still be pending). */
     bool
     instructionsDone() const
@@ -52,6 +63,7 @@ struct Wavefront
         pcIdx = 0;
         outstandingLoads = 0;
         waitingMem = false;
+        coalescedPc = SIZE_MAX;
     }
 };
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A freelist recycler for Packet storage.
+ *
+ * Every simulated memory access used to pay one malloc/free pair (or
+ * several, counting fills and writebacks) on the hottest path in the
+ * simulator. The pool hands out fixed slots from chunked storage and
+ * recycles them LIFO, so steady-state packet traffic performs zero
+ * heap allocations.
+ *
+ * Determinism: packet ids keep coming from the per-thread monotonic
+ * counter in Packet's constructor, and a run is confined to one
+ * thread, so pooled allocation is bit-identical to heap allocation.
+ * Ownership stays exactly as before - the component that allocates a
+ * packet releases it when its response returns - only new/delete
+ * become alloc()/release() on the owning System's pool.
+ */
+
+#ifndef MIGC_MEM_PACKET_POOL_HH
+#define MIGC_MEM_PACKET_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+class PacketPool
+{
+    // Recycled slots skip individual destruction; the chunk vector
+    // releases raw storage wholesale.
+    static_assert(std::is_trivially_destructible_v<Packet>,
+                  "Packet must stay trivially destructible for pooling");
+
+  public:
+    PacketPool() = default;
+
+    PacketPool(const PacketPool &) = delete;
+    PacketPool &operator=(const PacketPool &) = delete;
+
+    /** Construct a Packet in a recycled (or fresh) slot. */
+    Packet *
+    alloc(MemCmd cmd, Addr addr, unsigned size, Tick creation_tick)
+    {
+        if (free_.empty())
+            grow();
+        void *slot = free_.back();
+        free_.pop_back();
+        ++live_;
+        return new (slot) Packet(cmd, addr, size, creation_tick);
+    }
+
+    /** Return @p pkt's slot to the freelist. No-op on nullptr. */
+    void
+    release(Packet *pkt)
+    {
+        if (pkt == nullptr)
+            return;
+        panic_if(live_ == 0, "releasing a packet to an empty pool");
+        pkt->~Packet();
+        --live_;
+        free_.push_back(pkt);
+    }
+
+    /** Packets currently alive (allocated and not yet released). */
+    std::size_t liveCount() const { return live_; }
+
+    /** Slots ready for reuse. */
+    std::size_t freeCount() const { return free_.size(); }
+
+    /** Total slots ever created (live + free). */
+    std::size_t capacity() const { return chunks_.size() * chunkSlots; }
+
+  private:
+    struct Slot
+    {
+        alignas(alignof(Packet)) unsigned char bytes[sizeof(Packet)];
+    };
+
+    static constexpr std::size_t chunkSlots = 256;
+
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<Slot[]>(chunkSlots));
+        Slot *chunk = chunks_.back().get();
+        for (std::size_t i = chunkSlots; i > 0; --i)
+            free_.push_back(chunk[i - 1].bytes);
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::vector<void *> free_;
+    std::size_t live_ = 0;
+};
+
+} // namespace migc
+
+#endif // MIGC_MEM_PACKET_POOL_HH

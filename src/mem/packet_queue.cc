@@ -11,7 +11,7 @@ RespPacketQueue::RespPacketQueue(EventQueue &eq, ResponsePort &port,
                                  std::string name)
     : eventq_(eq), port_(port),
       drainEvent_([this] { drain(); }, name + ".drain",
-                  Event::responsePriority)
+                  Event::responsePriority, EventCategory::mem)
 {}
 
 void
@@ -46,7 +46,8 @@ RespPacketQueue::drain()
 ReqPacketQueue::ReqPacketQueue(EventQueue &eq, RequestPort &port,
                                std::string name, std::size_t max_size)
     : eventq_(eq), port_(port), maxSize_(max_size),
-      sendEvent_([this] { trySend(); }, name + ".send")
+      sendEvent_([this] { trySend(); }, name + ".send",
+                 Event::defaultPriority, EventCategory::mem)
 {}
 
 void

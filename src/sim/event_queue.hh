@@ -6,14 +6,21 @@
  * insertion sequence guarantees that two events scheduled for the same
  * tick and priority fire in scheduling order, which makes every
  * simulation bit-reproducible.
+ *
+ * The queue is an intrusive binary heap over the Event objects
+ * themselves: each event carries its own heap slot index, so
+ * scheduling never allocates, descheduling is a true O(log n)
+ * removal, and the heap holds exactly the pending events (no stale
+ * entries to grow through under reschedule-heavy traffic such as
+ * DRAM bank timers).
  */
 
 #ifndef MIGC_SIM_EVENT_QUEUE_HH
 #define MIGC_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,26 @@ namespace migc
 {
 
 class EventQueue;
+
+/**
+ * Coarse component attribution for events, so the perf harness can
+ * report events/sec by component. Counting is a single array
+ * increment on the service path.
+ */
+enum class EventCategory : std::uint8_t
+{
+    generic = 0, ///< uncategorized (tests, ad-hoc events)
+    gpu,         ///< CU ticks, dispatcher machinery
+    cache,       ///< cache retry/writeback-drain machinery
+    mem,         ///< packet queues, crossbar
+    dram,        ///< channel scheduling
+    stats,
+};
+
+inline constexpr std::size_t numEventCategories = 6;
+
+/** Short stable name for an event category ("gpu", "dram", ...). */
+const char *eventCategoryName(EventCategory c);
 
 /**
  * Base class for schedulable events.
@@ -42,7 +69,10 @@ class Event
         statsPriority = 100,
     };
 
-    explicit Event(int priority = defaultPriority) : priority_(priority) {}
+    explicit Event(int priority = defaultPriority,
+                   EventCategory category = EventCategory::generic)
+        : priority_(priority), category_(category)
+    {}
 
     virtual ~Event();
 
@@ -52,24 +82,33 @@ class Event
     /** Invoked when the event fires. */
     virtual void process() = 0;
 
-    /** Human-readable description for debugging. */
+    /**
+     * Human-readable description for debugging. Only called on error
+     * and trace paths, both gated behind the active log level, so no
+     * name string is ever built on the hot path.
+     */
     virtual std::string name() const { return "anon-event"; }
 
-    bool scheduled() const { return scheduled_; }
+    bool scheduled() const { return heapIndex_ != invalidIndex; }
 
     /** The tick this event is scheduled for (valid when scheduled()). */
     Tick when() const { return when_; }
 
     int priority() const { return priority_; }
 
+    EventCategory category() const { return category_; }
+
   private:
     friend class EventQueue;
 
-    bool scheduled_ = false;
+    static constexpr std::size_t invalidIndex = SIZE_MAX;
+
     Tick when_ = 0;
-    int priority_ = defaultPriority;
-    std::uint64_t stamp_ = 0;    ///< matches heap entry generation
+    std::uint64_t seq_ = 0;       ///< insertion-order tiebreak
+    std::size_t heapIndex_ = invalidIndex; ///< slot in the owning heap
     EventQueue *queue_ = nullptr; ///< queue holding a live schedule
+    int priority_ = defaultPriority;
+    EventCategory category_ = EventCategory::generic;
 };
 
 /** An event that runs a bound callable; saves one subclass per use. */
@@ -78,8 +117,9 @@ class EventFunctionWrapper : public Event
   public:
     EventFunctionWrapper(std::function<void()> callback,
                          std::string name,
-                         int priority = defaultPriority)
-        : Event(priority), callback_(std::move(callback)),
+                         int priority = defaultPriority,
+                         EventCategory category = EventCategory::generic)
+        : Event(priority, category), callback_(std::move(callback)),
           name_(std::move(name))
     {}
 
@@ -95,14 +135,15 @@ class EventFunctionWrapper : public Event
 /**
  * The global-per-simulation event queue.
  *
- * Descheduling is lazy: heap entries carry a generation stamp and
- * stale entries are discarded on pop, so deschedule/reschedule are
- * O(1) and the heap never needs a linear scan.
+ * The heap stores pointers to the scheduled events; every event
+ * tracks its own index, so schedule/deschedule/reschedule are
+ * allocation-free (amortized: the slot vector grows like any vector)
+ * and the heap size always equals the pending-event count.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(64); }
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
@@ -116,9 +157,16 @@ class EventQueue
     /** Deschedule if needed, then schedule at @p when. */
     void reschedule(Event *ev, Tick when);
 
-    bool empty() const { return numPending_ == 0; }
+    bool empty() const { return heap_.empty(); }
 
-    std::size_t numPending() const { return numPending_; }
+    std::size_t numPending() const { return heap_.size(); }
+
+    /**
+     * Heap slots currently in use; always equals numPending() with
+     * the intrusive design (the regression test for stale-entry
+     * growth asserts this stays bounded under heavy reschedule).
+     */
+    std::size_t heapSize() const { return heap_.size(); }
 
     /** Pop and process exactly one event. Queue must not be empty. */
     void serviceOne();
@@ -141,36 +189,47 @@ class EventQueue
     /** Total events processed over the queue's lifetime. */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    /** Events processed attributed to @p c. */
+    std::uint64_t
+    numProcessed(EventCategory c) const
+    {
+        return processedByCategory_[static_cast<std::size_t>(c)];
+    }
+
   private:
-    struct HeapEntry
+    /**
+     * Heap slot: the fire tick is duplicated next to the event
+     * pointer so the common compare (distinct ticks) never chases
+     * the pointer; only tick ties dereference for (priority, seq).
+     */
+    struct HeapSlot
     {
         Tick when;
-        int priority;
-        std::uint64_t seq;   ///< global insertion order tiebreak
-        std::uint64_t stamp; ///< generation; must match event's
-        Event *event;
+        Event *ev;
     };
 
-    struct EntryCompare
+    /** True when @p a fires strictly before @p b. */
+    static bool
+    before(const HeapSlot &a, const HeapSlot &b)
     {
-        bool
-        operator()(const HeapEntry &a, const HeapEntry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.ev->priority_ != b.ev->priority_)
+            return a.ev->priority_ < b.ev->priority_;
+        return a.ev->seq_ < b.ev->seq_;
+    }
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryCompare>
-        heap_;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Detach the root and restore the heap (no field cleanup). */
+    Event *popTop();
+
+    std::vector<HeapSlot> heap_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
-    std::uint64_t nextStamp_ = 1;
-    std::size_t numPending_ = 0;
     std::uint64_t numProcessed_ = 0;
+    std::array<std::uint64_t, numEventCategories> processedByCategory_{};
 };
 
 } // namespace migc

@@ -32,8 +32,30 @@ namespace logging_detail
 
 namespace
 {
+
 std::atomic<std::uint64_t> warnCounter{0};
+
+int
+initialLogLevel()
+{
+    const char *env = std::getenv("MIGC_LOG");
+    if (env == nullptr || *env == '\0')
+        return static_cast<int>(LogLevel::info);
+    std::string v(env);
+    if (v == "quiet" || v == "0")
+        return static_cast<int>(LogLevel::quiet);
+    if (v == "info" || v == "1")
+        return static_cast<int>(LogLevel::info);
+    if (v == "debug" || v == "2")
+        return static_cast<int>(LogLevel::debug);
+    if (v == "trace" || v == "3")
+        return static_cast<int>(LogLevel::trace);
+    return static_cast<int>(LogLevel::info);
+}
+
 } // namespace
+
+int currentLogLevel = initialLogLevel();
 
 void
 panicImpl(const char *file, int line, const std::string &m)
@@ -69,5 +91,17 @@ warnCount()
 }
 
 } // namespace logging_detail
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(logging_detail::currentLogLevel);
+}
+
+void
+setLogLevel(LogLevel lvl)
+{
+    logging_detail::currentLogLevel = static_cast<int>(lvl);
+}
 
 } // namespace migc

@@ -23,6 +23,39 @@ namespace migc
 std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Verbosity of non-error output. The level gates *argument
+ * evaluation*, not just printing: hot paths guard string
+ * construction (event names, packet prints) behind logEnabled(), so
+ * the default level performs zero logging allocations.
+ */
+enum class LogLevel : int
+{
+    quiet = 0, ///< errors and warnings only
+    info = 1,  ///< status output (default)
+    debug = 2, ///< component debug output
+    trace = 3, ///< per-event tracing
+};
+
+namespace logging_detail
+{
+
+/** Current level; read via logEnabled(). Set from MIGC_LOG at init. */
+extern int currentLogLevel;
+
+} // namespace logging_detail
+
+/** Cheap hot-path check: is @p lvl enabled right now? */
+inline bool
+logEnabled(LogLevel lvl)
+{
+    return logging_detail::currentLogLevel >= static_cast<int>(lvl);
+}
+
+LogLevel logLevel();
+
+void setLogLevel(LogLevel lvl);
+
 namespace logging_detail
 {
 
@@ -69,5 +102,18 @@ std::uint64_t warnCount();
 
 #define inform(...)                                                         \
     ::migc::logging_detail::informImpl(::migc::csprintf(__VA_ARGS__))
+
+/**
+ * Debug output whose arguments are only evaluated when the debug
+ * level is active - safe to use with expensive formatters (packet
+ * prints, event names) on hot paths.
+ */
+#define debug_log(...)                                                      \
+    do {                                                                    \
+        if (::migc::logEnabled(::migc::LogLevel::debug)) {                  \
+            ::migc::logging_detail::informImpl(                             \
+                ::migc::csprintf(__VA_ARGS__));                             \
+        }                                                                   \
+    } while (0)
 
 #endif // MIGC_SIM_LOGGING_HH

@@ -137,6 +137,86 @@ TEST(EventQueue, DestructionWhileScheduledIsSafe)
     eq.run();
 }
 
+TEST(EventQueue, RescheduleStormStaysBounded)
+{
+    // Regression: the old lazy-deletion design left one stale heap
+    // entry behind per reschedule, so a heavily rescheduled event
+    // (the DRAM bank-timer pattern) grew the heap without bound. The
+    // intrusive heap relocates the event in place: after a million
+    // reschedules exactly one pending event and one heap slot exist.
+    EventQueue eq;
+    int fired = 0;
+    EventFunctionWrapper timer([&] { ++fired; }, "timer");
+    eq.schedule(&timer, 1);
+    for (Tick i = 0; i < 1'000'000; ++i)
+        eq.reschedule(&timer, i + 2);
+    EXPECT_EQ(eq.numPending(), 1u);
+    EXPECT_EQ(eq.heapSize(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.numProcessed(), 1u);
+    EXPECT_EQ(eq.heapSize(), 0u);
+}
+
+TEST(EventQueue, DescheduleFromTheMiddleKeepsOrder)
+{
+    // Removing an interior heap element must preserve the firing
+    // order of everything else (exercises the sift-up path of the
+    // removal, which a pop-only heap never hits).
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+    for (int i = 0; i < 64; ++i) {
+        evs.push_back(std::make_unique<EventFunctionWrapper>(
+            [&order, i] { order.push_back(i); }, "e"));
+        eq.schedule(evs[static_cast<std::size_t>(i)].get(),
+                    static_cast<Tick>(100 + i));
+    }
+    // Deschedule every third event.
+    std::vector<int> expect;
+    for (int i = 0; i < 64; ++i) {
+        if (i % 3 == 0)
+            eq.deschedule(evs[static_cast<std::size_t>(i)].get());
+        else
+            expect.push_back(i);
+    }
+    eq.run();
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, CountsProcessedByCategory)
+{
+    EventQueue eq;
+    EventFunctionWrapper generic([] {}, "g");
+    EventFunctionWrapper dram1([] {}, "d1", Event::defaultPriority,
+                               EventCategory::dram);
+    EventFunctionWrapper dram2([] {}, "d2", Event::defaultPriority,
+                               EventCategory::dram);
+    EventFunctionWrapper gpu([] {}, "cu", Event::cpuTickPriority,
+                             EventCategory::gpu);
+    eq.schedule(&generic, 1);
+    eq.schedule(&dram1, 2);
+    eq.schedule(&dram2, 3);
+    eq.schedule(&gpu, 4);
+    eq.run();
+    EXPECT_EQ(eq.numProcessed(), 4u);
+    EXPECT_EQ(eq.numProcessed(EventCategory::generic), 1u);
+    EXPECT_EQ(eq.numProcessed(EventCategory::dram), 2u);
+    EXPECT_EQ(eq.numProcessed(EventCategory::gpu), 1u);
+    EXPECT_EQ(eq.numProcessed(EventCategory::cache), 0u);
+    EXPECT_EQ(eq.numProcessed(EventCategory::mem), 0u);
+}
+
+TEST(EventQueue, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(eventCategoryName(EventCategory::generic), "generic");
+    EXPECT_STREQ(eventCategoryName(EventCategory::gpu), "gpu");
+    EXPECT_STREQ(eventCategoryName(EventCategory::cache), "cache");
+    EXPECT_STREQ(eventCategoryName(EventCategory::mem), "mem");
+    EXPECT_STREQ(eventCategoryName(EventCategory::dram), "dram");
+    EXPECT_STREQ(eventCategoryName(EventCategory::stats), "stats");
+}
+
 TEST(EventQueue, DeterministicTieBreaking)
 {
     // Two runs with identical scheduling produce identical order.

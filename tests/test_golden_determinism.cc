@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden-hash determinism suite.
+ *
+ * One (workload, policy) pair per workload family, covering all six
+ * policy configurations, run under SimConfig::testConfig(). The
+ * expected values were captured from the simulator BEFORE the
+ * hot-path overhaul (pooled packets, intrusive event queue, flattened
+ * tag lookup, coalescer caching); the refactored simulator must
+ * reproduce them bit-identically. Every counter here is an exact
+ * integer count, so EXPECT_EQ on the doubles is exact.
+ *
+ * If a PR changes these values it changed simulated behavior, not
+ * just simulator speed - that must be intentional and called out,
+ * and the goldens re-captured.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/runner.hh"
+#include "core/sim_config.hh"
+
+using namespace migc;
+
+namespace
+{
+
+struct Golden
+{
+    const char *workload;
+    const char *policy;
+    std::uint64_t execTicks;
+    double gpuMemRequests;
+    double dramReads;
+    double dramWrites;
+    double cacheStallCycles;
+    double l1Hits;
+    double l1Misses;
+    double l2Hits;
+    double l2Misses;
+    double l2Writebacks;
+    double rinseWritebacks;
+    double allocBypassed;
+    double predictorBypasses;
+    double kernels;
+};
+
+// Captured at commit 6f96c8a (pre-refactor seed + harness), with
+// MIGC_NO_CACHE=1, SimConfig::testConfig(), default seed.
+const Golden kGoldens[] = {
+    {"DGEMM", "Uncached", 23840625ULL, 9216, 6326, 1024, 0, 0, 0, 0, 0,
+     0, 0, 0, 0, 1},
+    {"FwBN", "CacheR", 4458750ULL, 12288, 4096, 4096, 16758, 0, 8192,
+     4096, 4096, 0, 0, 0, 0, 1},
+    {"FwPool", "CacheRW", 24458375ULL, 43008, 31327, 5384, 230206, 3666,
+     33177, 1826, 37471, 6144, 0, 0, 0, 1},
+    {"BwSoft", "CacheRW-AB", 1334625ULL, 1280, 512, 8, 978, 512, 512, 0,
+     768, 256, 0, 0, 0, 1},
+    {"FwLSTM", "CacheRW-CR", 11182750ULL, 17728, 14711, 56, 50405, 28,
+     4880, 2147, 3758, 96, 36, 12200, 0, 4},
+    {"FwAct", "CacheRW-PCby", 13166500ULL, 24576, 12288, 11570, 64627,
+     0, 12206, 0, 4791, 2213, 1379, 82, 19790, 1},
+};
+
+class GoldenDeterminism : public ::testing::TestWithParam<Golden>
+{};
+
+} // namespace
+
+TEST_P(GoldenDeterminism, RunMetricsMatchPreRefactorGoldens)
+{
+    const Golden &g = GetParam();
+    SimConfig cfg = SimConfig::testConfig();
+    RunMetrics m = runNamedWorkload(g.workload, cfg, g.policy);
+
+    EXPECT_EQ(m.execTicks, g.execTicks);
+    EXPECT_EQ(m.gpuMemRequests, g.gpuMemRequests);
+    EXPECT_EQ(m.dramReads, g.dramReads);
+    EXPECT_EQ(m.dramWrites, g.dramWrites);
+    EXPECT_EQ(m.cacheStallCycles, g.cacheStallCycles);
+    EXPECT_EQ(m.l1Hits, g.l1Hits);
+    EXPECT_EQ(m.l1Misses, g.l1Misses);
+    EXPECT_EQ(m.l2Hits, g.l2Hits);
+    EXPECT_EQ(m.l2Misses, g.l2Misses);
+    EXPECT_EQ(m.l2Writebacks, g.l2Writebacks);
+    EXPECT_EQ(m.rinseWritebacks, g.rinseWritebacks);
+    EXPECT_EQ(m.allocBypassed, g.allocBypassed);
+    EXPECT_EQ(m.predictorBypasses, g.predictorBypasses);
+    EXPECT_EQ(m.kernels, g.kernels);
+}
+
+TEST_P(GoldenDeterminism, RepeatedRunsAreTickIdentical)
+{
+    const Golden &g = GetParam();
+    SimConfig cfg = SimConfig::testConfig();
+    RunMetrics a = runNamedWorkload(g.workload, cfg, g.policy);
+    RunMetrics b = runNamedWorkload(g.workload, cfg, g.policy);
+    EXPECT_EQ(a.execTicks, b.execTicks);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.cacheStallCycles, b.cacheStallCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, GoldenDeterminism, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        std::string name = std::string(info.param.workload) + "_" +
+                           info.param.policy;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });

@@ -50,7 +50,7 @@ struct CacheHarness
                           ReusePredictor *pred = nullptr,
                           Tick mem_latency = 20'000)
         : map(mapConfig()),
-          cache(cfg, eq, &map, pred), cpu(eq),
+          cache(cfg, eq, pool, &map, pred), cpu(eq),
           mem(eq, mem_latency)
     {
         cpu.bind(cache.cpuSidePort());
@@ -58,6 +58,7 @@ struct CacheHarness
     }
 
     EventQueue eq;
+    PacketPool pool;
     AddressMap map;
     GpuCache cache;
     MockCpu cpu;

@@ -85,7 +85,8 @@ TEST(ComputeUnit, RunsASimpleProgramToCompletion)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu();
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 200);
     cu.memPort().bind(mem);
 
@@ -111,7 +112,8 @@ TEST(ComputeUnit, WaitLoadsBlocksUntilDataReturns)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu();
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 0, SIZE_MAX, /*manual=*/true);
     cu.memPort().bind(mem);
 
@@ -136,7 +138,8 @@ TEST(ComputeUnit, TracksFreeSlots)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu(); // 8 slots
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 100, SIZE_MAX, /*manual=*/true);
     cu.memPort().bind(mem);
     cu.onWorkgroupComplete([](unsigned) {});
@@ -162,7 +165,8 @@ TEST(Dispatcher, RunsKernelsInOrderWithHooks)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu();
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 100);
     cu.memPort().bind(mem);
     Dispatcher disp("disp", eq, cfg, {&cu});
@@ -211,7 +215,8 @@ TEST(Dispatcher, LastKernelForcesSystemScope)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu();
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 50);
     cu.memPort().bind(mem);
     Dispatcher disp("disp", eq, cfg, {&cu});
@@ -247,7 +252,8 @@ TEST(Dispatcher, ManyWorkgroupsRotateAcrossCapacity)
 {
     EventQueue eq;
     GpuConfig cfg = tinyGpu(); // 8 slots, 2-wave workgroups -> 4 live
-    ComputeUnit cu("cu", eq, cfg, 0);
+    PacketPool pool;
+    ComputeUnit cu("cu", eq, pool, cfg, 0);
     MockMem mem(eq, 300);
     cu.memPort().bind(mem);
     Dispatcher disp("disp", eq, cfg, {&cu});

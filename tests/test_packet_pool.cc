@@ -1,0 +1,117 @@
+/** @file Unit tests for the PacketPool freelist recycler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/packet_pool.hh"
+
+using namespace migc;
+
+TEST(PacketPool, StartsEmpty)
+{
+    PacketPool pool;
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.freeCount(), 0u);
+    EXPECT_EQ(pool.capacity(), 0u);
+}
+
+TEST(PacketPool, AllocConstructsAValidPacket)
+{
+    PacketPool pool;
+    Packet *pkt = pool.alloc(MemCmd::ReadReq, 0x1040, 64, 77);
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_EQ(pkt->cmd, MemCmd::ReadReq);
+    EXPECT_EQ(pkt->addr, 0x1040u);
+    EXPECT_EQ(pkt->size, 64u);
+    EXPECT_EQ(pkt->creationTick, 77u);
+    EXPECT_EQ(pkt->flags, pktFlagNone);
+    EXPECT_EQ(pkt->pc, 0u);
+    EXPECT_EQ(pkt->cuId, -1);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    pool.release(pkt);
+}
+
+TEST(PacketPool, ReusesReleasedSlotsLifo)
+{
+    PacketPool pool;
+    Packet *a = pool.alloc(MemCmd::ReadReq, 0x40, 64, 0);
+    pool.release(a);
+    Packet *b = pool.alloc(MemCmd::WriteReq, 0x80, 64, 1);
+    // Same storage, freshly constructed state.
+    EXPECT_EQ(static_cast<void *>(a), static_cast<void *>(b));
+    EXPECT_EQ(b->cmd, MemCmd::WriteReq);
+    EXPECT_EQ(b->addr, 0x80u);
+    EXPECT_EQ(b->flags, pktFlagNone);
+    pool.release(b);
+}
+
+TEST(PacketPool, ResetClearsStaleFieldsOnReuse)
+{
+    PacketPool pool;
+    Packet *a = pool.alloc(MemCmd::ReadReq, 0x40, 64, 0);
+    a->setFlag(pktFlagBypass);
+    a->pc = 0xdead;
+    a->cuId = 5;
+    a->makeResponse();
+    pool.release(a);
+
+    Packet *b = pool.alloc(MemCmd::ReadReq, 0x40, 64, 0);
+    EXPECT_EQ(b->cmd, MemCmd::ReadReq);
+    EXPECT_FALSE(b->hasFlag(pktFlagBypass));
+    EXPECT_EQ(b->pc, 0u);
+    EXPECT_EQ(b->cuId, -1);
+    pool.release(b);
+}
+
+TEST(PacketPool, IdsStayMonotonicAcrossReuse)
+{
+    PacketPool pool;
+    std::uint64_t last = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Packet *pkt = pool.alloc(MemCmd::ReadReq, 0x40, 64, 0);
+        EXPECT_GT(pkt->id, last);
+        last = pkt->id;
+        pool.release(pkt);
+    }
+}
+
+TEST(PacketPool, GrowsInChunksAndTracksCounts)
+{
+    PacketPool pool;
+    std::vector<Packet *> pkts;
+    for (int i = 0; i < 300; ++i)
+        pkts.push_back(pool.alloc(MemCmd::ReadReq, 0x40u * i, 64, 0));
+    EXPECT_EQ(pool.liveCount(), 300u);
+    EXPECT_GE(pool.capacity(), 300u);
+    for (Packet *pkt : pkts)
+        pool.release(pkt);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.freeCount(), pool.capacity());
+}
+
+TEST(PacketPool, SteadyStateTrafficDoesNotGrowCapacity)
+{
+    PacketPool pool;
+    std::vector<Packet *> live;
+    // A bounded in-flight population recycled many times over must
+    // never need more than the first chunk.
+    for (int round = 0; round < 10'000; ++round) {
+        while (live.size() < 16) {
+            live.push_back(
+                pool.alloc(MemCmd::ReadReq, 0x40u * round, 64, 0));
+        }
+        while (!live.empty()) {
+            pool.release(live.back());
+            live.pop_back();
+        }
+    }
+    EXPECT_EQ(pool.capacity(), 256u);
+}
+
+TEST(PacketPool, ReleaseNullIsANoop)
+{
+    PacketPool pool;
+    pool.release(nullptr);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
