@@ -8,16 +8,16 @@
  * write-heavy BwPool workload under CacheRW-CR. Too-small indexes
  * rinse rows prematurely (capacity evictions); large indexes
  * approach ideal row-clustered drains.
+ *
+ * Runs go through the shared SweepEngine, so each DBI size is cached
+ * in its own config section and re-runs are free.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/runner.hh"
 #include "core/sim_config.hh"
-#include "policy/cache_policy.hh"
-#include "sim/parallel.hh"
-#include "workloads/workload.hh"
+#include "core/sweep_engine.hh"
 
 int
 main()
@@ -30,15 +30,16 @@ main()
                 "row-hit", "rinse_wbs", "dram_accesses");
 
     const std::vector<std::size_t> rowCounts{4, 16, 64, 256};
-    std::vector<RunMetrics> results(rowCounts.size());
-    parallelFor(rowCounts.size(), [&](std::size_t i) {
-        auto wl = makeWorkload("BwPool");
-        CachePolicy policy = CachePolicy::fromName("CacheRW-CR");
+
+    SweepEngine engine;
+    std::vector<RunRequest> grid;
+    for (std::size_t rows : rowCounts) {
         SimConfig cfg = SimConfig::defaultConfig();
         cfg.workloadScale = 0.25;
-        cfg.l2Bank.dbiRows = rowCounts[i];
-        results[i] = runWorkload(*wl, cfg, policy);
-    });
+        cfg.l2Bank.dbiRows = rows;
+        grid.push_back(RunRequest{cfg, "BwPool", "CacheRW-CR"});
+    }
+    std::vector<RunMetrics> results = engine.run(grid);
 
     for (std::size_t i = 0; i < rowCounts.size(); ++i) {
         const RunMetrics &m = results[i];

@@ -9,16 +9,18 @@
  * measuring stall cycles per request and execution time for BwAct
  * under CacheR. More sets means fewer allocation-blocked stalls, at
  * the cost of conflict behavior for other workloads.
+ *
+ * Runs go through the shared SweepEngine: each L1 geometry lands in
+ * its own section of the multi-config run cache, so a re-run of this
+ * binary (or any other that already swept these configs) simulates
+ * nothing.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/runner.hh"
 #include "core/sim_config.hh"
-#include "policy/cache_policy.hh"
-#include "sim/parallel.hh"
-#include "workloads/workload.hh"
+#include "core/sweep_engine.hh"
 
 int
 main()
@@ -34,15 +36,16 @@ main()
 
     const SimConfig base = SimConfig::defaultConfig();
     const std::vector<unsigned> assocs{32u, 16u, 8u, 4u};
-    std::vector<RunMetrics> results(assocs.size());
-    parallelFor(assocs.size(), [&](std::size_t i) {
-        auto wl = makeWorkload("BwAct");
-        CachePolicy policy = CachePolicy::fromName("CacheR");
+
+    SweepEngine engine;
+    std::vector<RunRequest> grid;
+    for (unsigned assoc : assocs) {
         SimConfig cfg = base;
         cfg.workloadScale = 0.25;
-        cfg.l1.assoc = assocs[i];
-        results[i] = runWorkload(*wl, cfg, policy);
-    });
+        cfg.l1.assoc = assoc;
+        grid.push_back(RunRequest{cfg, "BwAct", "CacheR"});
+    }
+    std::vector<RunMetrics> results = engine.run(grid);
 
     for (std::size_t i = 0; i < assocs.size(); ++i) {
         const RunMetrics &m = results[i];

@@ -22,9 +22,11 @@
  * performance.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -34,9 +36,12 @@
 #include <vector>
 
 #include "cache/tags.hh"
+#include "core/runner.hh"
+#include "core/sweep_engine.hh"
 #include "core/system.hh"
 #include "policy/cache_policy.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "workloads/workload.hh"
 
@@ -213,6 +218,160 @@ benchEndToEnd(const std::string &workload, const std::string &policy)
     return r;
 }
 
+/**
+ * Worker count for the sweep-throughput scenarios. Fixed (not
+ * hardware-derived) so the runs/sec numbers compare across commits
+ * on the same runner class.
+ */
+constexpr unsigned kSweepJobs = 4;
+
+/**
+ * The sweep-throughput grid: the paper's full 17-workload x 6-policy
+ * sweep at test scale, in the exact submission order the figure
+ * binaries use (workload-major). The heavy FwLRN runs sit near the
+ * end of this order, which is what makes FIFO's tail visible.
+ */
+std::vector<RunRequest>
+sweepGrid()
+{
+    std::vector<RunRequest> grid;
+    SimConfig cfg = SimConfig::testConfig();
+    for (const auto &w : workloadOrder()) {
+        for (const char *p :
+             {"Uncached", "CacheR", "CacheRW", "CacheRW-AB",
+              "CacheRW-CR", "CacheRW-PCby"})
+            grid.push_back(RunRequest{cfg, w, p});
+    }
+    return grid;
+}
+
+/**
+ * Cold full-grid sweep the pre-engine way: FIFO submission order,
+ * one freshly built System per run, no cache. The reference the
+ * engine scenario is judged against.
+ */
+BenchResult
+benchSweepColdFifo()
+{
+    BenchResult r;
+    r.name = "sweep_cold_fifo_fresh_systems";
+    r.eventScenario = false;
+    auto grid = sweepGrid();
+    auto t0 = BenchClock::now();
+    parallelFor(
+        grid.size(),
+        [&](std::size_t i) {
+            RunMetrics m = runNamedWorkload(
+                grid[i].workload, grid[i].cfg, grid[i].policy);
+            (void)m;
+        },
+        kSweepJobs);
+    r.seconds = secondsSince(t0);
+    r.items = grid.size();
+    return r;
+}
+
+/**
+ * The same cold grid through the SweepEngine: longest-job-first
+ * scheduling plus per-worker System reuse (cache disabled, so every
+ * run simulates). Bit-identical results, less wall clock on
+ * multi-core hosts. @p grid_results receives the metrics so the
+ * scheduler model below can replay the grid's true run costs.
+ */
+BenchResult
+benchSweepColdEngine(std::vector<RunMetrics> &grid_results)
+{
+    BenchResult r;
+    r.name = "sweep_cold_engine";
+    r.eventScenario = false;
+    auto grid = sweepGrid();
+    auto t0 = BenchClock::now();
+    SweepEngine engine("");
+    grid_results = engine.run(grid, kSweepJobs);
+    r.seconds = secondsSince(t0);
+    r.items = grid.size();
+    if (engine.simulationsPerformed() != grid.size())
+        std::fprintf(stderr, "sweep_cold_engine: unexpected cache hits\n");
+    return r;
+}
+
+/**
+ * Deterministic scheduler-quality model: replay the grid's measured
+ * per-run costs (sim_events, which are bit-exact and host-
+ * independent) through a k-worker pool in FIFO submission order vs
+ * longest-job-first, and compare makespans. This isolates the
+ * tail-straggler effect the LPT scheduler removes from host core
+ * count and thread noise - the wall-clock scenarios above only show
+ * it when the host really has >= kSweepJobs cores.
+ */
+struct ScheduleModel
+{
+    unsigned workers;
+    double fifoMakespan; ///< event units
+    double lptMakespan;  ///< event units
+    double ratio() const
+    {
+        return lptMakespan > 0 ? fifoMakespan / lptMakespan : 0.0;
+    }
+};
+
+ScheduleModel
+modelSchedule(const std::vector<RunMetrics> &grid_results, unsigned k)
+{
+    auto makespan = [k](const std::vector<double> &seq) {
+        std::vector<double> workers(k, 0.0);
+        for (double cost : seq) {
+            auto it = std::min_element(workers.begin(), workers.end());
+            *it += cost;
+        }
+        return *std::max_element(workers.begin(), workers.end());
+    };
+    std::vector<double> fifo;
+    fifo.reserve(grid_results.size());
+    for (const auto &m : grid_results)
+        fifo.push_back(m.simEvents);
+    std::vector<double> lpt = fifo;
+    std::sort(lpt.begin(), lpt.end(), std::greater<double>());
+    return ScheduleModel{k, makespan(fifo), makespan(lpt)};
+}
+
+/**
+ * Warm-cache replay: the grid is fully on disk; each iteration
+ * builds a fresh engine (cache load included) and re-requests the
+ * whole grid. Zero simulations - this is the "ablation re-run"
+ * path, and its rate is grid points served per second.
+ */
+BenchResult
+benchSweepWarmReplay()
+{
+    BenchResult r;
+    r.name = "sweep_warm_replay";
+    r.eventScenario = false;
+    const std::string path = "BENCH_sweep_warm_cache.tmp.csv";
+    std::remove(path.c_str());
+    auto grid = sweepGrid();
+    {
+        SweepEngine engine(path);
+        engine.run(grid, kSweepJobs);
+    }
+
+    const int reps = 50;
+    auto t0 = BenchClock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+        SweepEngine engine(path);
+        engine.run(grid);
+        if (engine.simulationsPerformed() != 0) {
+            std::fprintf(stderr,
+                         "sweep_warm_replay: cache miss on replay\n");
+            break;
+        }
+    }
+    r.seconds = secondsSince(t0);
+    r.items = static_cast<std::uint64_t>(reps) * grid.size();
+    std::remove(path.c_str());
+    return r;
+}
+
 double
 geomeanRate(const std::vector<BenchResult> &results, bool events_only)
 {
@@ -230,7 +389,8 @@ geomeanRate(const std::vector<BenchResult> &results, bool events_only)
 }
 
 std::string
-toJson(const std::vector<BenchResult> &results, double headline)
+toJson(const std::vector<BenchResult> &results, double headline,
+       const std::vector<ScheduleModel> &models)
 {
     std::ostringstream os;
     os << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
@@ -251,7 +411,15 @@ toJson(const std::vector<BenchResult> &results, double headline)
         }
         os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    os << "  ],\n  \"headline_events_per_sec\": " << headline << "\n}\n";
+    os << "  ],\n  \"sweep_schedule_model\": {";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const auto &sm = models[i];
+        os << "\"workers_" << sm.workers << "\": {\"fifo_makespan_events\": "
+           << sm.fifoMakespan << ", \"lpt_makespan_events\": "
+           << sm.lptMakespan << ", \"fifo_over_lpt\": " << sm.ratio()
+           << "}" << (i + 1 < models.size() ? ", " : "");
+    }
+    os << "},\n  \"headline_events_per_sec\": " << headline << "\n}\n";
     return os.str();
 }
 
@@ -264,6 +432,21 @@ extractNumber(const std::string &json, const std::string &key,
               double &out)
 {
     auto pos = json.find("\"" + key + "\":");
+    if (pos == std::string::npos)
+        return false;
+    pos = json.find(':', pos);
+    return std::sscanf(json.c_str() + pos + 1, "%lf", &out) == 1;
+}
+
+/** The "rate" recorded for scenario @p name in one of our files. */
+bool
+extractScenarioRate(const std::string &json, const std::string &name,
+                    double &out)
+{
+    auto pos = json.find("\"name\": \"" + name + "\"");
+    if (pos == std::string::npos)
+        return false;
+    pos = json.find("\"rate\":", pos);
     if (pos == std::string::npos)
         return false;
     pos = json.find(':', pos);
@@ -313,6 +496,14 @@ main(int argc, char **argv)
     results.push_back(benchTagsVictimSearch());
     results.push_back(benchEndToEnd("FwPool", "CacheRW"));
     results.push_back(benchEndToEnd("FwAct", "CacheRW-PCby"));
+    results.push_back(benchSweepColdFifo());
+    std::vector<RunMetrics> grid_results;
+    results.push_back(benchSweepColdEngine(grid_results));
+    results.push_back(benchSweepWarmReplay());
+
+    std::vector<ScheduleModel> models{
+        modelSchedule(grid_results, 4), modelSchedule(grid_results, 8),
+        modelSchedule(grid_results, 16), modelSchedule(grid_results, 24)};
 
     const double headline = geomeanRate(results, true);
 
@@ -326,6 +517,12 @@ main(int argc, char **argv)
                             static_cast<unsigned long long>(count));
         }
     }
+    for (const auto &sm : models) {
+        std::printf("%-32s fifo %.0f -> lpt %.0f event-units "
+                    "(%.2fx shorter tail at %u workers)\n",
+                    "sweep_schedule_model", sm.fifoMakespan,
+                    sm.lptMakespan, sm.ratio(), sm.workers);
+    }
     std::printf("%-32s %12.0f events/s (geomean of event scenarios)\n",
                 "headline", headline);
 
@@ -335,7 +532,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
             return 2;
         }
-        out << toJson(results, headline);
+        out << toJson(results, headline, models);
         std::printf("wrote %s\n", json_path.c_str());
     }
 
@@ -365,6 +562,29 @@ main(int argc, char **argv)
                          "(limit %.0f%%)\n",
                          (1.0 - ratio) * 100.0, max_regress * 100.0);
             return 1;
+        }
+
+        // Sweep-throughput scenarios (runs/sec, outside the events/s
+        // headline pool) gate individually against the baseline when
+        // it records them.
+        for (const auto &r : results) {
+            if (r.name.rfind("sweep_", 0) != 0)
+                continue;
+            double base_rate = 0.0;
+            if (!extractScenarioRate(buf.str(), r.name, base_rate) ||
+                base_rate <= 0) {
+                continue; // baseline predates the scenario
+            }
+            double sratio = r.rate() / base_rate;
+            std::printf("baseline %s %.0f /s -> ratio %.2f\n",
+                        r.name.c_str(), base_rate, sratio);
+            if (sratio < 1.0 - max_regress) {
+                std::fprintf(stderr,
+                             "FAIL: %s regressed %.0f%% (limit %.0f%%)\n",
+                             r.name.c_str(), (1.0 - sratio) * 100.0,
+                             max_regress * 100.0);
+                return 1;
+            }
         }
     }
     return 0;

@@ -98,6 +98,17 @@ DirtyBlockIndex::rowPopulation(std::uint64_t row_id) const
 }
 
 void
+DirtyBlockIndex::reset()
+{
+    rows_.clear();
+    lru_.clear();
+    statAdds_.reset();
+    statRemoves_.reset();
+    statRowTakes_.reset();
+    statCapacityEvictions_.reset();
+}
+
+void
 DirtyBlockIndex::regStats(StatGroup &group)
 {
     group.addScalar("adds", "dirty lines recorded", &statAdds_);

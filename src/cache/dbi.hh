@@ -53,6 +53,9 @@ class DirtyBlockIndex
     /** Lines currently tracked for @p row_id (tests). */
     std::size_t rowPopulation(std::uint64_t row_id) const;
 
+    /** Forget every row and zero the stats (System::reset()). */
+    void reset();
+
     void regStats(StatGroup &group);
 
   private:

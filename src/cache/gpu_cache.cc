@@ -33,8 +33,10 @@ GpuCache::GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
 {
     fatal_if(cfg.rinsing && addr_map == nullptr,
              "cache rinsing requires a DRAM address map for row ids");
-    if (cfg.rinsing)
-        dbi_ = std::make_unique<DirtyBlockIndex>(cfg.dbiRows);
+    // The DBI is always built (it is tiny) and only consulted when
+    // cfg_.rinsing is set, so reset() can flip rinsing on or off
+    // without allocating or invalidating registered stats.
+    dbi_ = std::make_unique<DirtyBlockIndex>(cfg.dbiRows);
 
     memQueue_.onSpaceFreed([this] {
         if (!wbQueue_.empty() && !wbDrainEvent_.scheduled())
@@ -261,7 +263,7 @@ GpuCache::cachedWrite(PacketPtr pkt)
         }
         if (!blk->isDirty()) {
             blk->state = BlkState::dirty;
-            if (dbi_) {
+            if (cfg_.rinsing) {
                 auto spilled = dbi_->add(addrMap_->rowId(blk->addr),
                                          blk->addr);
                 for (Addr line : spilled) {
@@ -320,7 +322,7 @@ GpuCache::cachedWrite(PacketPtr pkt)
         evictBlock(victim);
 
     tags_.insert(victim, pkt->addr, BlkState::dirty, pkt->pc);
-    if (dbi_) {
+    if (cfg_.rinsing) {
         auto spilled = dbi_->add(addrMap_->rowId(pkt->addr), pkt->addr);
         for (Addr line : spilled) {
             CacheBlk *sb = tags_.findBlock(line);
@@ -445,7 +447,7 @@ GpuCache::evictBlock(CacheBlk *blk)
 
     if (blk->isDirty()) {
         scheduleWriteback(blk->addr, pktFlagNone);
-        if (dbi_) {
+        if (cfg_.rinsing) {
             std::uint64_t row = addrMap_->rowId(blk->addr);
             // Rinse: push every other dirty line of this DRAM row out
             // with the victim so the controller sees row-clustered
@@ -552,7 +554,7 @@ GpuCache::completeFill(PacketPtr fill_pkt)
     panic_if(!blk->isBusy(), "fill into a non-busy block");
 
     blk->state = mshr->hasStoreTarget ? BlkState::dirty : BlkState::valid;
-    if (blk->isDirty() && dbi_) {
+    if (blk->isDirty() && cfg_.rinsing) {
         auto spilled = dbi_->add(addrMap_->rowId(line), line);
         for (Addr spilled_line : spilled) {
             CacheBlk *sb = tags_.findBlock(spilled_line);
@@ -629,7 +631,7 @@ GpuCache::flushDirty(std::function<void()> on_done)
 
     tags_.forEachDirty([this](CacheBlk &blk) {
         scheduleWriteback(blk.addr, pktFlagFlush);
-        if (dbi_)
+        if (cfg_.rinsing)
             dbi_->remove(addrMap_->rowId(blk.addr), blk.addr);
         blk.state = BlkState::valid;
     });
@@ -643,6 +645,61 @@ GpuCache::quiescent() const
     return mshrs_.size() == 0 && bypassPending_.empty() &&
            wbQueue_.empty() && outstandingWbs_ == 0 &&
            respQueue_.empty() && memQueue_.empty();
+}
+
+void
+GpuCache::reset(const PolicyView &pv, ReusePredictor *predictor)
+{
+    panic_if(!quiescent(), "resetting cache %s with traffic in flight",
+             name().c_str());
+    fatal_if(pv.rinsing && addrMap_ == nullptr,
+             "cache rinsing requires a DRAM address map for row ids");
+
+    // Only the policy flags and the seed may change across runs.
+    cfg_.cacheLoads = pv.cacheLoads;
+    cfg_.cacheStores = pv.cacheStores;
+    cfg_.allocationBypass = pv.allocationBypass;
+    cfg_.rinsing = pv.rinsing;
+    cfg_.seed = pv.seed;
+    predictor_ = predictor;
+
+    tags_.reset(cfg_.seed);
+    mshrs_.clear();
+    dbi_->reset();
+    bypassPending_.clear();
+    wbQueue_.clear();
+    outstandingWbs_ = 0;
+    flushDone_ = nullptr;
+    respQueue_.reset();
+    memQueue_.reset();
+
+    nextPortFree_ = 0;
+    retryNeeded_ = false;
+    stalled_ = false;
+    stallStart_ = 0;
+    backpressured_ = false;
+    backpressureStart_ = 0;
+
+    statHits_.reset();
+    statMisses_.reset();
+    statMshrCoalesced_.reset();
+    statBypassReads_.reset();
+    statBypassWrites_.reset();
+    statBypassCoalesced_.reset();
+    statStoresAbsorbed_.reset();
+    statWritebacks_.reset();
+    statRinseWritebacks_.reset();
+    statFlushWritebacks_.reset();
+    statAllocBlockedRejects_.reset();
+    statAllocBypassed_.reset();
+    statPredictorBypasses_.reset();
+    statStallCycles_.reset();
+    statBackpressureCycles_.reset();
+    statRejects_.reset();
+    statRejectPort_.reset();
+    statRejectMshr_.reset();
+    statRejectMemq_.reset();
+    statInvalidations_.reset();
 }
 
 // ---------------------------------------------------------------------
@@ -700,8 +757,7 @@ GpuCache::regStats(StatGroup &group)
         double acc = demandAccesses();
         return acc > 0 ? statHits_.value() / acc : 0.0;
     });
-    if (dbi_)
-        dbi_->regStats(group.child("dbi"));
+    dbi_->regStats(group.child("dbi"));
 }
 
 } // namespace migc

@@ -118,6 +118,26 @@ class GpuCache : public SimObject
     /** True when no request, fill, or writeback is in flight. */
     bool quiescent() const;
 
+    /** The per-run mutable subset of GpuCacheConfig (reset()). */
+    struct PolicyView
+    {
+        bool cacheLoads;
+        bool cacheStores;
+        bool allocationBypass;
+        bool rinsing;
+        std::uint64_t seed;
+    };
+
+    /**
+     * Return the cache to its just-constructed state under a new
+     * policy/seed combination while keeping every allocation (tag
+     * array, DBI, MSHR buckets, queue storage) warm - reset performs
+     * zero heap allocations. The geometry is fixed at construction;
+     * only @p pv and the predictor binding change. The cache must be
+     * quiescent. Part of System::reset().
+     */
+    void reset(const PolicyView &pv, ReusePredictor *predictor);
+
     void regStats(StatGroup &group) override;
 
     const Tags &tags() const { return tags_; }

@@ -69,6 +69,9 @@ class MshrFile
     /** Release @p line_addr's MSHR. */
     void deallocate(Addr line_addr);
 
+    /** Drop every entry (System::reset(); file is normally empty). */
+    void clear() { entries_.clear(); }
+
   private:
     std::size_t capacity_;
     std::size_t maxTargets_;

@@ -56,6 +56,8 @@ class RandomPolicy : public ReplPolicy
 
     std::string name() const override { return "random"; }
 
+    void reset(std::uint64_t seed) override { rng_ = Rng(seed); }
+
   private:
     Rng rng_;
 };

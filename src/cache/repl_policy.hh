@@ -46,6 +46,13 @@ class ReplPolicy
 
     virtual std::string name() const = 0;
 
+    /**
+     * Return to the freshly-created state for @p seed. After
+     * reset(s) the policy behaves exactly like create(kind, s)'s
+     * result; only the random policy carries state (its RNG).
+     */
+    virtual void reset(std::uint64_t seed) { (void)seed; }
+
     /** Factory. @p seed feeds the random policy. */
     static std::unique_ptr<ReplPolicy> create(ReplKind kind,
                                               std::uint64_t seed = 1);

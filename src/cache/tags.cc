@@ -112,6 +112,15 @@ Tags::forEach(const std::function<void(CacheBlk &)> &fn)
         fn(blk);
 }
 
+void
+Tags::reset(std::uint64_t seed)
+{
+    for (auto &blk : blocks_)
+        blk = CacheBlk{};
+    stamp_ = 0;
+    repl_->reset(seed);
+}
+
 std::uint64_t
 Tags::countState(BlkState state) const
 {

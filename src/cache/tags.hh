@@ -76,6 +76,13 @@ class Tags
     /** Count blocks in a given state (tests / stats). */
     std::uint64_t countState(BlkState state) const;
 
+    /**
+     * Invalidate every block and restart the replacement state
+     * (stamps, RNG) as if freshly constructed with @p seed. Keeps
+     * the block and scratch storage allocated (System::reset()).
+     */
+    void reset(std::uint64_t seed);
+
   private:
     /** First block of the set holding @p addr. */
     CacheBlk *

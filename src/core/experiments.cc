@@ -1,157 +1,41 @@
 #include "core/experiments.hh"
 
-#include <unistd.h>
-
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <utility>
 
 #include "sim/logging.hh"
-#include "sim/parallel.hh"
 #include "workloads/workload.hh"
 
 namespace migc
 {
 
-namespace
-{
-
-/**
- * Cache header tag. v2: runs are seeded per (workload, policy) via
- * deriveSeed rather than from cfg.seed directly, so v1 caches hold
- * incomparable numbers and must not be loaded.
- */
-constexpr const char *kCacheTag = "# migc-sweep-v2 ";
-
-} // namespace
-
 ExperimentSweep::ExperimentSweep(SimConfig cfg) : cfg_(std::move(cfg))
-{
-    const char *no_cache = std::getenv("MIGC_NO_CACHE");
-    cacheEnabled_ = !(no_cache && no_cache[0] == '1');
-    const char *path = std::getenv("MIGC_SWEEP_CACHE");
-    cachePath_ = path ? path : "mi_sweep_cache.csv";
-    if (cacheEnabled_)
-        loadCache();
-}
-
-void
-ExperimentSweep::loadCache()
-{
-    std::ifstream in(cachePath_);
-    if (!in)
-        return;
-    std::string line;
-    if (!std::getline(in, line))
-        return;
-    // First line carries the format tag and config signature; a
-    // mismatch (older seeding scheme, different scale/geometry)
-    // invalidates the whole cache.
-    if (line != kCacheTag + cfg_.signature())
-        return;
-    std::getline(in, line); // header
-    while (std::getline(in, line)) {
-        RunMetrics m;
-        if (RunMetrics::fromCsv(line, m))
-            results_[{m.workload, m.policy}] = m;
-    }
-}
-
-void
-ExperimentSweep::saveCacheLocked() const
-{
-    if (!cacheEnabled_)
-        return;
-    // Write-then-rename keeps the cache whole even if a sweep is
-    // interrupted mid-save or two binaries race on the same file;
-    // the pid suffix keeps concurrent processes' tmp files private.
-    std::string tmp =
-        csprintf("%s.%d.tmp", cachePath_.c_str(),
-                 static_cast<int>(::getpid()));
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return;
-        out << kCacheTag << cfg_.signature() << "\n";
-        out << RunMetrics::csvHeader() << "\n";
-        for (const auto &[key, m] : results_)
-            out << m.toCsv() << "\n";
-        if (!out.good()) {
-            std::remove(tmp.c_str());
-            return;
-        }
-    }
-    if (std::rename(tmp.c_str(), cachePath_.c_str()) != 0) {
-        warn("could not move sweep cache into place at %s",
-             cachePath_.c_str());
-        std::remove(tmp.c_str());
-    }
-}
+{}
 
 const RunMetrics &
 ExperimentSweep::get(const std::string &workload,
                      const std::string &policy)
 {
-    auto key = std::make_pair(workload, policy);
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        auto it = results_.find(key);
-        if (it != results_.end())
-            return it->second;
-    }
-
-    inform("simulating %s under %s ...", workload.c_str(),
-           policy.c_str());
-    RunMetrics m = runNamedWorkload(workload, cfg_, policy);
-
-    std::lock_guard<std::mutex> lk(mu_);
-    auto [ins, ok] = results_.emplace(key, std::move(m));
-    if (ok)
-        saveCacheLocked();
-    return ins->second;
+    return engine_.get(cfg_, workload, policy);
 }
 
 void
 ExperimentSweep::prefetch(const std::vector<std::string> &policies)
 {
-    // Collect the missing grid points, keeping the deterministic
-    // workload-major order for work distribution.
-    std::vector<std::pair<std::string, std::string>> missing;
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        for (const auto &w : workloadOrder()) {
-            for (const auto &p : policies) {
-                if (!results_.count({w, p}))
-                    missing.emplace_back(w, p);
-            }
-        }
+    // Submit the full grid in the deterministic workload-major
+    // order; the engine skips cached points, schedules the missing
+    // ones longest-first across the worker pool, reuses each
+    // worker's System across runs, and checkpoints the cache
+    // periodically so an interrupted sweep resumes from the finished
+    // runs instead of starting over. Each run seeds its RNG streams
+    // from the (workload, policy) labels, so the shards never share
+    // mutable simulation state and any job count is bit-identical.
+    std::vector<RunRequest> requests;
+    requests.reserve(workloadOrder().size() * policies.size());
+    for (const auto &w : workloadOrder()) {
+        for (const auto &p : policies)
+            requests.push_back(RunRequest{cfg_, w, p});
     }
-    if (missing.empty())
-        return;
-
-    unsigned jobs = sweepJobs();
-    if (jobs > missing.size())
-        jobs = static_cast<unsigned>(missing.size());
-    inform("sweeping %zu (workload, policy) runs on %u worker%s ...",
-           missing.size(), jobs, jobs == 1 ? "" : "s");
-
-    // Each run builds a private System and event queue and seeds its
-    // RNG streams from the (workload, policy) labels, so the shards
-    // never share mutable simulation state. The cache is
-    // checkpointed after every completed run (writes are trivially
-    // cheap next to a simulation), so an interrupted sweep resumes
-    // from the finished runs instead of starting over.
-    parallelFor(
-        missing.size(),
-        [&](std::size_t i) {
-            const auto &[w, p] = missing[i];
-            RunMetrics m = runNamedWorkload(w, cfg_, p);
-            std::lock_guard<std::mutex> lk(mu_);
-            results_.emplace(std::make_pair(w, p), std::move(m));
-            saveCacheLocked();
-        },
-        jobs);
+    engine_.run(requests);
 }
 
 std::vector<std::string>

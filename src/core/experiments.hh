@@ -1,25 +1,24 @@
 /**
  * @file
- * The experiment engine shared by all bench binaries: a cached
+ * The experiment harness shared by all bench binaries: a cached
  * 17-workload x 6-policy sweep plus builders for every figure in the
  * paper's evaluation (Figures 4-13).
  *
  * All figures derive from one sweep, so results are cached on disk
- * (keyed by the configuration signature) and each bench binary
- * reuses prior runs. Set MIGC_NO_CACHE=1 to force fresh simulation,
- * or MIGC_SWEEP_CACHE=<path> to relocate the cache file.
+ * through the SweepEngine's multi-config RunCache (keyed by the
+ * configuration signature). Set MIGC_NO_CACHE=1 to force fresh
+ * simulation, or MIGC_SWEEP_CACHE=<path> to relocate the cache file.
  *
- * prefetch() shards missing (workload, policy) runs across a thread
- * pool (MIGC_JOBS workers, default one per core). Each run owns its
- * System, event queue, and RNG streams, so a parallel sweep is
+ * prefetch() submits missing (workload, policy) runs to the engine,
+ * which shards them longest-job-first across a thread pool
+ * (MIGC_JOBS workers, default one per core) with per-worker System
+ * reuse. Each run seeds its own RNG streams, so a parallel sweep is
  * bit-identical to a serial one.
  */
 
 #ifndef MIGC_CORE_EXPERIMENTS_HH
 #define MIGC_CORE_EXPERIMENTS_HH
 
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "core/report.hh"
 #include "core/runner.hh"
 #include "core/sim_config.hh"
+#include "core/sweep_engine.hh"
 
 namespace migc
 {
@@ -42,9 +42,9 @@ class ExperimentSweep
 
     /**
      * Ensure all (workload x policy) combinations are available,
-     * simulating missing ones in parallel across the worker pool.
-     * The on-disk cache is checkpointed atomically after every
-     * completed run, so an interrupted sweep resumes where it left.
+     * simulating missing ones in parallel through the sweep engine.
+     * The on-disk cache is checkpointed periodically and on
+     * completion, so an interrupted sweep resumes where it left.
      */
     void prefetch(const std::vector<std::string> &policies);
 
@@ -65,19 +65,12 @@ class ExperimentSweep
     /** All six configuration names, paper order. */
     static std::vector<std::string> allPolicyNames();
 
+    /** The underlying engine (shared scheduler + run cache). */
+    SweepEngine &engine() { return engine_; }
+
   private:
-    void loadCache();
-
-    /** Write the cache atomically (tmp file + rename); mu_ held. */
-    void saveCacheLocked() const;
-
     SimConfig cfg_;
-    std::string cachePath_;
-    bool cacheEnabled_ = true;
-
-    /** Guards results_ and the cache file across sweep workers. */
-    mutable std::mutex mu_;
-    std::map<std::pair<std::string, std::string>, RunMetrics> results_;
+    SweepEngine engine_;
 };
 
 /** Figure 4: compute bandwidth (GVOPS) per workload, CacheR. */

@@ -16,7 +16,8 @@ RunMetrics::csvHeader()
            "dram_reads,dram_writes,dram_accesses,dram_row_hit_rate,"
            "cache_stall_cycles,stalls_per_request,vops,gvops,gmrps,"
            "l1_hits,l1_misses,l2_hits,l2_misses,l2_writebacks,"
-           "rinse_writebacks,alloc_bypassed,predictor_bypasses,kernels";
+           "rinse_writebacks,alloc_bypassed,predictor_bypasses,kernels,"
+           "sim_events";
 }
 
 std::string
@@ -24,13 +25,14 @@ RunMetrics::toCsv() const
 {
     return csprintf(
         "%s,%s,%llu,%.9e,%.0f,%.0f,%.0f,%.0f,%.9f,%.0f,%.9f,%.0f,%.6f,"
-        "%.6f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f",
+        "%.6f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f",
         workload.c_str(), policy.c_str(),
         static_cast<unsigned long long>(execTicks), execSeconds,
         gpuMemRequests, dramReads, dramWrites, dramAccesses,
         dramRowHitRate, cacheStallCycles, stallsPerRequest, vops, gvops,
         gmrps, l1Hits, l1Misses, l2Hits, l2Misses, l2Writebacks,
-        rinseWritebacks, allocBypassed, predictorBypasses, kernels);
+        rinseWritebacks, allocBypassed, predictorBypasses, kernels,
+        simEvents);
 }
 
 bool
@@ -41,7 +43,9 @@ RunMetrics::fromCsv(const std::string &line, RunMetrics &out)
     std::string item;
     while (std::getline(ss, item, ','))
         fields.push_back(item);
-    if (fields.size() != 23)
+    // 23 fields is the pre-sim_events schema; those rows are still
+    // valid results, just without a scheduler cost estimate.
+    if (fields.size() != 23 && fields.size() != 24)
         return false;
 
     out.workload = fields[0];
@@ -68,6 +72,7 @@ RunMetrics::fromCsv(const std::string &line, RunMetrics &out)
         out.allocBypassed = std::stod(fields[20]);
         out.predictorBypasses = std::stod(fields[21]);
         out.kernels = std::stod(fields[22]);
+        out.simEvents = fields.size() > 23 ? std::stod(fields[23]) : 0.0;
     } catch (...) {
         return false;
     }

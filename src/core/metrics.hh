@@ -58,6 +58,13 @@ struct RunMetrics
 
     double kernels = 0.0;
 
+    /**
+     * Simulator events processed for this run (a cost, not a
+     * modeled-hardware metric). The sweep engine's longest-job-first
+     * scheduler uses it as the duration estimate for repeat runs.
+     */
+    double simEvents = 0.0;
+
     /** Serialize to CSV (schema in csvHeader()). */
     std::string toCsv() const;
 

@@ -8,10 +8,10 @@ namespace migc
 {
 
 RunMetrics
-runWorkload(const Workload &workload, const SimConfig &cfg,
-            const CachePolicy &policy)
+runWorkloadOn(System &sys, const Workload &workload)
 {
-    System sys(cfg, policy);
+    const SimConfig &cfg = sys.config();
+    const CachePolicy &policy = sys.policy();
     auto kernels = workload.kernels(cfg.workloadScale);
 
     bool done = false;
@@ -63,7 +63,23 @@ runWorkload(const Workload &workload, const SimConfig &cfg,
     m.allocBypassed = sys.totalAllocBypassed();
     m.predictorBypasses = sys.totalPredictorBypasses();
     m.kernels = sys.gpu().dispatcher().kernelsLaunched();
+    m.simEvents = static_cast<double>(sys.eventQueue().numProcessed());
     return m;
+}
+
+RunMetrics
+runWorkload(const Workload &workload, const SimConfig &cfg,
+            const CachePolicy &policy)
+{
+    System sys(cfg, policy);
+    return runWorkloadOn(sys, workload);
+}
+
+std::uint64_t
+runSeedFor(const SimConfig &cfg, const std::string &workload,
+           const std::string &policy)
+{
+    return deriveSeed(cfg.seed, workload + "/" + policy);
 }
 
 RunMetrics
@@ -71,7 +87,7 @@ runNamedWorkload(const std::string &workload, const SimConfig &cfg,
                  const std::string &policy)
 {
     SimConfig run_cfg = cfg;
-    run_cfg.seed = deriveSeed(cfg.seed, workload + "/" + policy);
+    run_cfg.seed = runSeedFor(cfg, workload, policy);
     auto wl = makeWorkload(workload);
     return runWorkload(*wl, run_cfg, CachePolicy::fromName(policy));
 }

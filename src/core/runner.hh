@@ -14,24 +14,47 @@
 namespace migc
 {
 
+class System;
+
+/**
+ * Simulate @p workload to completion on @p sys and harvest its
+ * metrics. @p sys must be freshly constructed or freshly reset();
+ * its config and policy determine the run. This is the reuse-aware
+ * core of every run entry point: the sweep engine calls it on a
+ * worker's recycled System, the wrappers below on a temporary one.
+ *
+ * Fatal if the simulation deadlocks (event budget exhausted).
+ */
+RunMetrics runWorkloadOn(System &sys, const Workload &workload);
+
 /**
  * Simulate @p workload to completion on a fresh System built from
  * @p cfg with @p policy applied. Deterministic: identical inputs
  * produce tick-identical results.
- *
- * Fatal if the simulation deadlocks (event budget exhausted).
  */
 RunMetrics runWorkload(const Workload &workload, const SimConfig &cfg,
                        const CachePolicy &policy);
 
 /**
+ * The per-run RNG seed stream for (workload, policy) under @p cfg.
+ * The single source of truth for the run-seeding contract: every
+ * path that simulates a named grid point - runNamedWorkload here,
+ * the sweep engine's reuse path - must derive its seed through this
+ * helper, or bit-identical results (and the run cache keyed on
+ * them) would silently diverge between paths.
+ */
+std::uint64_t runSeedFor(const SimConfig &cfg,
+                         const std::string &workload,
+                         const std::string &policy);
+
+/**
  * Simulate the workload and policy given by name, with the run's
  * RNG streams seeded from a private stream derived from cfg.seed
- * and the (workload, policy) labels. Results therefore depend only
- * on the configuration and the names - never on which thread or in
- * which order a sweep executes the run - which is what lets
- * ExperimentSweep shard the grid across a thread pool while staying
- * bit-identical to a serial sweep.
+ * and the (workload, policy) labels (runSeedFor). Results therefore
+ * depend only on the configuration and the names - never on which
+ * thread or in which order a sweep executes the run - which is what
+ * lets the sweep engine shard the grid across a thread pool while
+ * staying bit-identical to a serial sweep.
  */
 RunMetrics runNamedWorkload(const std::string &workload,
                             const SimConfig &cfg,

@@ -1,6 +1,7 @@
 #include "core/sim_config.hh"
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace migc
 {
@@ -105,13 +106,84 @@ SimConfig::testConfig()
     return c;
 }
 
+namespace
+{
+
+/** Append one cache template's structural fields to @p out. */
+void
+appendCacheKey(std::string &out, const char *tag,
+               const GpuCacheConfig &c)
+{
+    // Policy flags and the seed are excluded: System applies the
+    // run's policy and derives per-cache seeds itself, so they do
+    // not distinguish structures.
+    out += csprintf(
+        "|%s:%llu:%u:%u:%llu:%llu:%llu:%zu:%zu:%zu:%zu:%zu:%llu:%d:"
+        "%u:%zu",
+        tag, static_cast<unsigned long long>(c.size), c.assoc,
+        c.lineSize, static_cast<unsigned long long>(c.lookupLatency.value()),
+        static_cast<unsigned long long>(c.responseLatency.value()),
+        static_cast<unsigned long long>(c.bypassLatency.value()),
+        c.mshrs, c.targetsPerMshr, c.bypassEntries, c.writeBufDepth,
+        c.memQueueDepth, static_cast<unsigned long long>(c.clockPeriod),
+        static_cast<int>(c.repl), c.bankInterleaveBits, c.dbiRows);
+}
+
+} // namespace
+
+std::string
+SimConfig::structureKey() const
+{
+    std::string key;
+    key += csprintf("gpu:%u:%u:%u:%u:%u:%llu:%u:%zu:%llu:%llu",
+                    gpu.numCus, gpu.simdsPerCu, gpu.wfSlotsPerSimd,
+                    gpu.wavefrontSize, gpu.lineSize,
+                    static_cast<unsigned long long>(gpu.clockPeriod),
+                    gpu.memIssueWidth, gpu.memQueueDepth,
+                    static_cast<unsigned long long>(gpu.launchLatency),
+                    static_cast<unsigned long long>(
+                        gpu.drainPollInterval.value()));
+    appendCacheKey(key, "l1", l1);
+    appendCacheKey(key, "l2", l2Bank);
+    key += csprintf("|l2banks:%u", l2Banks);
+    key += csprintf("|xbar:%llu:%llu:%zu",
+                    static_cast<unsigned long long>(xbar.latency.value()),
+                    static_cast<unsigned long long>(
+                        xbar.outputGap.value()),
+                    xbar.queueDepth);
+    key += csprintf(
+        "|dram:%u:%u:%u:%u:%llu:%llu:%llu:%llu:%llu:%llu:%llu:%llu:"
+        "%zu:%zu:%zu:%zu:%zu:%llu:%u:%d",
+        dram.channels, dram.banksPerChannel, dram.rowBytes,
+        dram.burstBytes, static_cast<unsigned long long>(dram.tBurst),
+        static_cast<unsigned long long>(dram.tCas),
+        static_cast<unsigned long long>(dram.tRcd),
+        static_cast<unsigned long long>(dram.tRp),
+        static_cast<unsigned long long>(dram.tWr),
+        static_cast<unsigned long long>(dram.tRtw),
+        static_cast<unsigned long long>(dram.tWtr),
+        static_cast<unsigned long long>(dram.respLatency),
+        dram.readQDepth, dram.writeQDepth, dram.writeHighWatermark,
+        dram.writeLowWatermark, dram.writeEagerThreshold,
+        static_cast<unsigned long long>(dram.writeIdleDrainDelay),
+        dram.schedulerWindow, dram.bankXorHash ? 1 : 0);
+    key += csprintf("|pred:%zu:%u:%u:%u:%u", predictor.entries,
+                    predictor.counterBits, predictor.threshold,
+                    predictor.initialValue, predictor.sampleInterval);
+    key += csprintf("|scale:%.6f", workloadScale);
+    return key;
+}
+
 std::string
 SimConfig::signature() const
 {
-    return csprintf("%s:cus%u:l2x%u:%ukB:ch%u:scale%.3f:seed%llu",
+    return csprintf("%s:cus%u:l2x%u:%ukB:ch%u:scale%.3f:h%016llx:"
+                    "seed%llu",
                     name.c_str(), gpu.numCus, l2Banks,
                     static_cast<unsigned>(l2Bank.size / 1024),
                     dram.channels, workloadScale,
+                    static_cast<unsigned long long>(
+                        fnv1a(structureKey())),
                     static_cast<unsigned long long>(seed));
 }
 

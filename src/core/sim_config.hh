@@ -59,8 +59,28 @@ struct SimConfig
     /** Tiny system for fast tests. */
     static SimConfig testConfig();
 
-    /** One-line signature used to key the sweep result cache. */
+    /**
+     * One-line signature used to key the sweep result cache. Covers
+     * every structural parameter (via a hash of structureKey()) plus
+     * the seed, so any config change - including ablation axes like
+     * L1 associativity, DBI rows, or predictor geometry - lands in
+     * its own cache namespace.
+     */
     std::string signature() const;
+
+    /**
+     * Canonical dump of every behavior-affecting parameter except
+     * the seed and the preset name. Two configs with equal
+     * structureKey() build interchangeable Systems: a worker may
+     * satisfy both with one System via System::reset().
+     */
+    std::string structureKey() const;
+
+    /** True when a System built for @p a can be reset to serve @p b. */
+    static bool structurallyEqual(const SimConfig &a, const SimConfig &b)
+    {
+        return a.structureKey() == b.structureKey();
+    }
 };
 
 } // namespace migc

@@ -1,0 +1,435 @@
+#include "core/sweep_engine.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <thread>
+#include <tuple>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+namespace
+{
+
+/** v3: multi-config sections, one per signature. */
+constexpr const char *kCacheTagV3 = "# migc-sweep-v3";
+
+/** Section separator inside a v3 file. */
+constexpr const char *kSectionTag = "# config ";
+
+/**
+ * v2: single-config files written before the multi-config cache; the
+ * signature follows the tag on the same line. v2 rows are PRESERVED
+ * (imported as a section keyed by that old-format signature, carried
+ * across rewrites like any foreign section) but never served:
+ * current lookups use the new signature format, which embeds a hash
+ * of every structural parameter precisely because the old format
+ * aliased structurally different configs (it ignored ablation axes
+ * like L1 associativity and DBI rows) - serving an old row could
+ * return a different machine's result. Nothing is silently lost;
+ * stale-but-inspectable beats wrong.
+ */
+constexpr const char *kCacheTagV2 = "# migc-sweep-v2 ";
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+std::string
+cachePathFromEnv()
+{
+    const char *no_cache = std::getenv("MIGC_NO_CACHE");
+    if (no_cache && no_cache[0] == '1')
+        return "";
+    const char *path = std::getenv("MIGC_SWEEP_CACHE");
+    return path ? path : "mi_sweep_cache.csv";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RunCache
+// ---------------------------------------------------------------------
+
+RunCache::RunCache(std::string path, std::size_t checkpoint_interval)
+    : path_(std::move(path)),
+      checkpointInterval_(checkpoint_interval > 0 ? checkpoint_interval
+                                                  : 1)
+{
+    if (enabled())
+        load();
+}
+
+RunCache::~RunCache()
+{
+    flush();
+}
+
+std::size_t
+RunCache::mergeFromDisk()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return 0;
+    std::string line;
+    if (!std::getline(in, line))
+        return 0;
+
+    std::size_t ignored = 0;
+    Section *section = nullptr;
+    if (line == kCacheTagV3) {
+        // Sections follow; rows before the first "# config" line
+        // (there should be none) are ignored.
+    } else if (startsWith(line, kCacheTagV2)) {
+        // Whole legacy file becomes one preserved-but-unserved
+        // section under its old-format signature (see kCacheTagV2).
+        section =
+            &sections_[line.substr(std::strlen(kCacheTagV2))];
+    } else {
+        warn("ignoring sweep cache %s: unrecognized format tag",
+             path_.c_str());
+        return 0;
+    }
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (startsWith(line, kSectionTag)) {
+            section = &sections_[line.substr(std::strlen(kSectionTag))];
+            continue;
+        }
+        if (line[0] == '#' || startsWith(line, "workload,"))
+            continue; // comment / csv header
+        RunMetrics m;
+        if (section != nullptr && RunMetrics::fromCsv(line, m)) {
+            Key key{m.workload, m.policy};
+            // emplace: rows already in memory win (for a key both
+            // sides hold, the values are identical by determinism).
+            section->emplace(std::move(key), std::move(m));
+        } else {
+            ++ignored;
+        }
+    }
+    return ignored;
+}
+
+void
+RunCache::load()
+{
+    std::size_t ignored = mergeFromDisk();
+    if (ignored > 0) {
+        warn("sweep cache %s: ignored %zu unparseable row%s "
+             "(stale schema?)",
+             path_.c_str(), ignored, ignored == 1 ? "" : "s");
+    }
+}
+
+void
+RunCache::save()
+{
+    if (!enabled())
+        return;
+    // Union the file's current state first so two binaries sweeping
+    // different configs against one cache path preserve each other's
+    // freshly finished sections instead of racing whole-file
+    // snapshots (a write between our merge and rename can still
+    // lose, but the next writer's merge re-converges).
+    mergeFromDisk();
+    // Write-then-rename keeps the cache whole even if a sweep is
+    // interrupted mid-save or two binaries race on the same file;
+    // the pid suffix keeps concurrent processes' tmp files private.
+    std::string tmp = csprintf("%s.%d.tmp", path_.c_str(),
+                               static_cast<int>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << kCacheTagV3 << "\n";
+        for (const auto &[sig, section] : sections_) {
+            if (section.empty())
+                continue;
+            out << kSectionTag << sig << "\n";
+            out << RunMetrics::csvHeader() << "\n";
+            for (const auto &[key, m] : section)
+                out << m.toCsv() << "\n";
+        }
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        warn("could not move sweep cache into place at %s",
+             path_.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+const RunMetrics *
+RunCache::find(const std::string &sig, const std::string &workload,
+               const std::string &policy) const
+{
+    auto sit = sections_.find(sig);
+    if (sit == sections_.end())
+        return nullptr;
+    auto rit = sit->second.find(Key{workload, policy});
+    return rit == sit->second.end() ? nullptr : &rit->second;
+}
+
+const RunMetrics &
+RunCache::insert(const std::string &sig, RunMetrics m)
+{
+    Key key{m.workload, m.policy};
+    auto [it, fresh] =
+        sections_[sig].emplace(std::move(key), std::move(m));
+    if (fresh && ++unsaved_ >= checkpointInterval_) {
+        save();
+        unsaved_ = 0;
+    }
+    return it->second;
+}
+
+double
+RunCache::estimateEvents(const std::string &workload,
+                         const std::string &policy) const
+{
+    double best = 0.0;
+    for (const auto &[sig, section] : sections_) {
+        auto it = section.find(Key{workload, policy});
+        if (it != section.end() && it->second.simEvents > best)
+            best = it->second.simEvents;
+    }
+    return best;
+}
+
+void
+RunCache::flush()
+{
+    if (unsaved_ > 0) {
+        save();
+        unsaved_ = 0;
+    }
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &[sig, section] : sections_)
+        n += section.size();
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// SweepEngine
+// ---------------------------------------------------------------------
+
+SweepEngine::SweepEngine() : SweepEngine(cachePathFromEnv()) {}
+
+SweepEngine::SweepEngine(std::string cache_path)
+    : cache_(std::move(cache_path))
+{}
+
+SweepEngine::~SweepEngine() = default;
+
+const RunMetrics &
+SweepEngine::get(const SimConfig &cfg, const std::string &workload,
+                 const std::string &policy)
+{
+    const std::string sig = cfg.signature();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (const RunMetrics *m = cache_.find(sig, workload, policy)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return *m;
+        }
+    }
+
+    inform("simulating %s under %s ...", workload.c_str(),
+           policy.c_str());
+    ++sims_;
+    RunMetrics m = runNamedWorkload(workload, cfg, policy);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const RunMetrics *prior = cache_.find(sig, workload, policy)) {
+        // Lost a race with another thread simulating the same point;
+        // both computed identical metrics, keep the first.
+        return *prior;
+    }
+    const RunMetrics &stored = cache_.insert(sig, std::move(m));
+    // Interactive single runs are rare and expensive: persist each
+    // one immediately (the amortized checkpointing is for run()'s
+    // batch path, where a write per run would be O(N^2) I/O).
+    cache_.flush();
+    return stored;
+}
+
+RunMetrics
+SweepEngine::runJob(const Job &job, std::unique_ptr<System> &sys,
+                    std::string &sys_structure)
+{
+    const RunRequest &req = *job.req;
+    const std::uint64_t run_seed =
+        runSeedFor(req.cfg, req.workload, req.policy);
+    const CachePolicy policy = CachePolicy::fromName(req.policy);
+
+    std::string structure = req.cfg.structureKey();
+    if (sys != nullptr && sys_structure == structure) {
+        // Same machine, different run: keep every allocation warm.
+        sys->reset(policy, run_seed);
+    } else {
+        SimConfig run_cfg = req.cfg;
+        run_cfg.seed = run_seed;
+        sys = std::make_unique<System>(run_cfg, policy);
+        sys_structure = std::move(structure);
+    }
+
+    auto wl = makeWorkload(req.workload);
+    sims_.fetch_add(1, std::memory_order_relaxed);
+    return runWorkloadOn(*sys, *wl);
+}
+
+std::vector<RunMetrics>
+SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
+{
+    // Phase 1: split the batch into cached points and missing jobs,
+    // deduplicating repeated grid points.
+    std::vector<std::string> sigs;
+    sigs.reserve(requests.size());
+    std::vector<Job> missing;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::map<std::tuple<std::string, std::string, std::string>,
+                 bool>
+            seen;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const RunRequest &req = requests[i];
+            sigs.push_back(req.cfg.signature());
+            if (cache_.find(sigs[i], req.workload, req.policy)) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            auto key = std::make_tuple(sigs[i], req.workload,
+                                       req.policy);
+            if (!seen.emplace(std::move(key), true).second)
+                continue;
+            missing.push_back(Job{&req, sigs[i],
+                                  cache_.estimateEvents(req.workload,
+                                                        req.policy),
+                                  i});
+        }
+    }
+
+    if (!missing.empty()) {
+        // Fill unknown costs from a workload-size heuristic: the
+        // simulated footprint is a stable proxy for run length when
+        // no prior run of the pair exists. Heuristic and measured
+        // costs only ever order runs, never change them.
+        for (Job &job : missing) {
+            if (job.estimate <= 0.0) {
+                job.estimate = static_cast<double>(
+                    makeWorkload(job.req->workload)
+                        ->footprintBytes(job.req->cfg.workloadScale));
+            }
+        }
+
+        // Longest-job-first; submission order breaks ties so the
+        // schedule is reproducible.
+        std::sort(missing.begin(), missing.end(),
+                  [](const Job &a, const Job &b) {
+                      if (a.estimate != b.estimate)
+                          return a.estimate > b.estimate;
+                      return a.submitOrder < b.submitOrder;
+                  });
+
+        if (jobs == 0)
+            jobs = sweepJobs();
+        if (static_cast<std::size_t>(jobs) > missing.size())
+            jobs = static_cast<unsigned>(missing.size());
+        inform("sweeping %zu (workload, policy) runs on %u worker%s "
+               "(longest-first) ...",
+               missing.size(), jobs, jobs == 1 ? "" : "s");
+
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+        std::mutex error_mu;
+
+        auto worker = [&] {
+            // Worker-local System, reused across every structurally
+            // compatible run this worker executes.
+            std::unique_ptr<System> sys;
+            std::string sys_structure;
+            for (;;) {
+                std::size_t k =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (k >= missing.size())
+                    return;
+                const Job &job = missing[k];
+                try {
+                    RunMetrics m = runJob(job, sys, sys_structure);
+                    std::lock_guard<std::mutex> lk(mu_);
+                    cache_.insert(job.sig, std::move(m));
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                    next.store(missing.size(),
+                               std::memory_order_relaxed);
+                    return;
+                }
+            }
+        };
+
+        if (jobs <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(jobs);
+            for (unsigned t = 0; t < jobs; ++t)
+                pool.emplace_back(worker);
+            for (auto &th : pool)
+                th.join();
+        }
+        if (error)
+            std::rethrow_exception(error);
+
+        flush();
+    }
+
+    // Phase 2: every request is now cached; answer in request order.
+    std::vector<RunMetrics> results;
+    results.reserve(requests.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const RunMetrics *m = cache_.find(sigs[i], requests[i].workload,
+                                          requests[i].policy);
+        panic_if(m == nullptr, "sweep engine lost a result for %s/%s",
+                 requests[i].workload.c_str(),
+                 requests[i].policy.c_str());
+        results.push_back(*m);
+    }
+    return results;
+}
+
+void
+SweepEngine::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    cache_.flush();
+}
+
+} // namespace migc

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The process-wide sweep engine: every bench/figure/ablation binary
+ * submits (SimConfig, workload, policy) run requests here instead of
+ * rolling its own parallelFor loop.
+ *
+ * Three mechanisms make multi-config grids cheap:
+ *
+ *  - RunCache: one on-disk namespace holds results for *many*
+ *    configurations at once, keyed by (cfg.signature(), workload,
+ *    policy). Ablation grids and the paper-scale sweep coexist in
+ *    one file, a config change no longer discards foreign results,
+ *    and checkpoints are amortized (every K completions + on flush)
+ *    instead of rewriting the whole file after every run.
+ *
+ *  - Cost-model scheduler: missing runs are dispatched longest-job-
+ *    first, using simulator event counts from prior cached runs of
+ *    the same (workload, policy) - falling back to a workload-size
+ *    heuristic - which removes the FIFO tail-straggler problem.
+ *    Scheduling only reorders execution; results depend solely on
+ *    (cfg, workload, policy) (see runNamedWorkload), so any
+ *    MIGC_JOBS value is bit-identical.
+ *
+ *  - System reuse: each worker keeps its System alive between runs
+ *    and re-runs on it via System::reset() whenever the next run's
+ *    config is structurally equal, so PacketPool chunks, the event
+ *    heap, tag/DBI storage, and DRAM bank state stay warm instead of
+ *    being reconstructed per run.
+ */
+
+#ifndef MIGC_CORE_SWEEP_ENGINE_HH
+#define MIGC_CORE_SWEEP_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+
+namespace migc
+{
+
+class System;
+
+/** One grid point: run @p workload under @p policy on @p cfg. */
+struct RunRequest
+{
+    SimConfig cfg;
+    std::string workload;
+    std::string policy;
+};
+
+/**
+ * Multi-config on-disk result store.
+ *
+ * The file holds one section per configuration signature:
+ *
+ *   # migc-sweep-v3
+ *   # config <signature>
+ *   <csv header>
+ *   <RunMetrics rows>
+ *   # config <signature'>
+ *   ...
+ *
+ * Sections whose signature belongs to some other configuration are
+ * preserved across save cycles, so binaries with different configs
+ * can share one cache path without clobbering each other. Legacy
+ * single-config v2 files import as one such foreign section: their
+ * rows are preserved, but never served, because the old signature
+ * format aliased structurally different configs (see
+ * kCacheTagV2 in sweep_engine.cc).
+ *
+ * An empty path disables disk I/O; results are then memoized in
+ * memory only (the MIGC_NO_CACHE=1 behavior).
+ *
+ * Not internally synchronized: the owning engine serializes access.
+ */
+class RunCache
+{
+  public:
+    explicit RunCache(std::string path,
+                      std::size_t checkpoint_interval = 8);
+
+    /** Flushes pending results (best effort). */
+    ~RunCache();
+
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Result for (sig, workload, policy), or nullptr. Stable. */
+    const RunMetrics *find(const std::string &sig,
+                           const std::string &workload,
+                           const std::string &policy) const;
+
+    /**
+     * Record a completed run under @p sig (first write wins). The
+     * file is checkpointed after every checkpoint_interval inserts;
+     * call flush() when a sweep finishes.
+     * @return the stored row (stable reference).
+     */
+    const RunMetrics &insert(const std::string &sig, RunMetrics m);
+
+    /**
+     * Scheduler cost estimate for (workload, policy): the largest
+     * sim_events recorded for the pair under *any* signature (a run
+     * of the same pair on a nearby config is the best predictor of
+     * length). 0 when the pair has never been seen.
+     */
+    double estimateEvents(const std::string &workload,
+                          const std::string &policy) const;
+
+    /** Write the file now if any un-checkpointed results exist. */
+    void flush();
+
+    /** Total rows across all sections (tests / introspection). */
+    std::size_t size() const;
+
+  private:
+    using Key = std::pair<std::string, std::string>;
+    using Section = std::map<Key, RunMetrics>;
+
+    void load();
+
+    /**
+     * Merge the file's current contents into memory (rows already
+     * held in memory win), then atomically rewrite it. The merge
+     * step is what lets concurrently running binaries share one
+     * cache path: each writer unions the other's finished sections
+     * instead of clobbering them with its own load-time snapshot.
+     * @return rows that failed to parse (0 for a missing file).
+     */
+    std::size_t mergeFromDisk();
+    void save();
+
+    std::string path_;
+    std::size_t checkpointInterval_;
+    std::size_t unsaved_ = 0;
+    std::map<std::string, Section> sections_;
+};
+
+/**
+ * Shared run scheduler + cache. Construct once per process (the
+ * default constructor reads MIGC_SWEEP_CACHE / MIGC_NO_CACHE) and
+ * route every simulation request through it.
+ */
+class SweepEngine
+{
+  public:
+    /** Cache path from the environment, like the figure binaries. */
+    SweepEngine();
+
+    /** Explicit cache path; empty disables the on-disk cache. */
+    explicit SweepEngine(std::string cache_path);
+
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /**
+     * Result for one grid point; simulates on first use. The
+     * reference stays valid for the engine's lifetime.
+     */
+    const RunMetrics &get(const SimConfig &cfg,
+                          const std::string &workload,
+                          const std::string &policy);
+
+    /**
+     * Ensure every request is available, simulating the missing ones
+     * across the worker pool (@p jobs threads; 0 = MIGC_JOBS /
+     * hardware default), longest-estimated-job-first.
+     * @return metrics in request order.
+     */
+    std::vector<RunMetrics> run(const std::vector<RunRequest> &requests,
+                                unsigned jobs = 0);
+
+    /** Persist any un-checkpointed results now. */
+    void flush();
+
+    /** Simulations actually executed (cache misses). */
+    std::uint64_t simulationsPerformed() const { return sims_.load(); }
+
+    /** Requests answered from the cache without simulating. */
+    std::uint64_t cacheHits() const { return hits_.load(); }
+
+  private:
+    struct Job
+    {
+        const RunRequest *req;
+        std::string sig;
+        double estimate;
+        std::size_t submitOrder;
+    };
+
+    /**
+     * Execute one job on @p sys, reusing it via System::reset() when
+     * its structure key matches, rebuilding it otherwise.
+     */
+    RunMetrics runJob(const Job &job, std::unique_ptr<System> &sys,
+                      std::string &sys_structure);
+
+    mutable std::mutex mu_;
+    RunCache cache_;
+    std::atomic<std::uint64_t> sims_{0};
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace migc
+
+#endif // MIGC_CORE_SWEEP_ENGINE_HH

@@ -7,6 +7,60 @@
 namespace migc
 {
 
+GpuCache::PolicyView
+System::l1PolicyView(std::string_view name) const
+{
+    return GpuCache::PolicyView{
+        policy_.cacheLoadsL1,
+        false, // stores always bypass the L1
+        policy_.allocationBypass,
+        false, // rinsing is an L2 mechanism
+        deriveSeed(cfg_.seed, name)};
+}
+
+GpuCache::PolicyView
+System::l2PolicyView(std::string_view name) const
+{
+    return GpuCache::PolicyView{
+        policy_.cacheLoadsL2, policy_.cacheStoresL2,
+        policy_.allocationBypass, policy_.cacheRinsing,
+        deriveSeed(cfg_.seed, name)};
+}
+
+namespace
+{
+
+void
+applyPolicyView(GpuCacheConfig &cfg, const GpuCache::PolicyView &pv)
+{
+    cfg.cacheLoads = pv.cacheLoads;
+    cfg.cacheStores = pv.cacheStores;
+    cfg.allocationBypass = pv.allocationBypass;
+    cfg.rinsing = pv.rinsing;
+    cfg.seed = pv.seed;
+}
+
+} // namespace
+
+GpuCacheConfig
+System::l1ConfigFor(unsigned i) const
+{
+    GpuCacheConfig l1 = cfg_.l1;
+    l1.name = csprintf("l1_%u", i);
+    applyPolicyView(l1, l1PolicyView(l1.name));
+    return l1;
+}
+
+GpuCacheConfig
+System::l2ConfigFor(unsigned j) const
+{
+    GpuCacheConfig l2 = cfg_.l2Bank;
+    l2.name = csprintf("l2_%u", j);
+    l2.bankInterleaveBits = floorLog2(cfg_.l2Banks);
+    applyPolicyView(l2, l2PolicyView(l2.name));
+    return l2;
+}
+
 System::System(const SimConfig &cfg, const CachePolicy &policy)
     : cfg_(cfg), policy_(policy), predictor_(cfg.predictor)
 {
@@ -18,15 +72,9 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
 
     // Per-CU L1s with the policy's L1 behavior.
     for (unsigned i = 0; i < cfg_.gpu.numCus; ++i) {
-        GpuCacheConfig l1 = cfg_.l1;
-        l1.name = csprintf("l1_%u", i);
-        l1.cacheLoads = policy_.cacheLoadsL1;
-        l1.cacheStores = false; // stores always bypass the L1
-        l1.allocationBypass = policy_.allocationBypass;
-        l1.rinsing = false;
-        l1.seed = deriveSeed(cfg_.seed, l1.name);
         l1s_.push_back(std::make_unique<GpuCache>(
-            l1, eventq_, pktPool_, &dram_->addressMap(), nullptr));
+            l1ConfigFor(i), eventq_, pktPool_, &dram_->addressMap(),
+            nullptr));
         gpu_->cu(i).memPort().bind(l1s_.back()->cpuSidePort());
     }
 
@@ -46,16 +94,8 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
 
     // Banked shared L2 with the policy's L2 behavior.
     for (unsigned j = 0; j < cfg_.l2Banks; ++j) {
-        GpuCacheConfig l2 = cfg_.l2Bank;
-        l2.name = csprintf("l2_%u", j);
-        l2.bankInterleaveBits = floorLog2(cfg_.l2Banks);
-        l2.cacheLoads = policy_.cacheLoadsL2;
-        l2.cacheStores = policy_.cacheStoresL2;
-        l2.allocationBypass = policy_.allocationBypass;
-        l2.rinsing = policy_.cacheRinsing;
-        l2.seed = deriveSeed(cfg_.seed, l2.name);
         l2Banks_.push_back(std::make_unique<GpuCache>(
-            l2, eventq_, pktPool_, &dram_->addressMap(),
+            l2ConfigFor(j), eventq_, pktPool_, &dram_->addressMap(),
             policy_.pcBypassL2 ? &predictor_ : nullptr));
         xbar_->memSidePort(j).bind(l2Banks_.back()->cpuSidePort());
         l2Banks_.back()->memSidePort().bind(dram_->clientPort(j));
@@ -94,6 +134,44 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l2->regStats(stats_.child(l2->name()));
     dram_->regStats(stats_.child("dram"));
     predictor_.regStats(stats_.child("predictor"));
+}
+
+void
+System::reset(const CachePolicy &policy, std::uint64_t seed)
+{
+    panic_if(gpu_->dispatcher().running(),
+             "System::reset() while a workload is running");
+    panic_if(!memSystemQuiescent(),
+             "System::reset() with memory traffic in flight");
+
+    // Detaching every pending event first (idle machinery timers,
+    // posted-write drains) lets the component resets below clear
+    // their queues without worrying about scheduled work.
+    eventq_.reset();
+
+    policy_ = policy;
+    cfg_.seed = seed;
+
+    // Per-cache flags and seeds re-derive through the same
+    // l1PolicyView/l2PolicyView mapping the constructor used; the
+    // cache's name is its seed-stream label (allocation-free).
+    gpu_->reset();
+    for (unsigned i = 0; i < cfg_.gpu.numCus; ++i)
+        l1s_[i]->reset(l1PolicyView(l1s_[i]->name()), nullptr);
+    xbar_->reset();
+    for (unsigned j = 0; j < cfg_.l2Banks; ++j) {
+        l2Banks_[j]->reset(l2PolicyView(l2Banks_[j]->name()),
+                           policy_.pcBypassL2 ? &predictor_ : nullptr);
+    }
+    dram_->reset();
+    predictor_.reset();
+
+    // A completed run has released every packet (posted writes are
+    // consumed at their ack); anything still live would leak slots
+    // and indicate an ownership bug somewhere above.
+    panic_if(pktPool_.liveCount() != 0,
+             "System::reset() with %zu live packets",
+             pktPool_.liveCount());
 }
 
 bool

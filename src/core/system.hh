@@ -9,6 +9,7 @@
 #define MIGC_CORE_SYSTEM_HH
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "cache/gpu_cache.hh"
@@ -29,6 +30,23 @@ class System
 {
   public:
     System(const SimConfig &cfg, const CachePolicy &policy);
+
+    /**
+     * Return the whole system to the state a fresh
+     * System(cfg-with-@p seed, @p policy) would have, while keeping
+     * every allocation warm: PacketPool chunks, the event-heap
+     * array, tag/DBI storage, queue buffers, and DRAM bank state all
+     * stay resident. Only the policy and the seed may change; the
+     * geometry is fixed at construction (see
+     * SimConfig::structurallyEqual for what a caller must check
+     * before reusing a System for a different SimConfig).
+     *
+     * Requires a quiescent system - i.e. the previous run completed
+     * (the dispatcher's done callback fired). A reset system is
+     * bit-identical in behavior to a freshly built one; the golden
+     * determinism suite pins this.
+     */
+    void reset(const CachePolicy &policy, std::uint64_t seed);
 
     EventQueue &eventQueue() { return eventq_; }
 
@@ -71,6 +89,21 @@ class System
     double totalPredictorBypasses() const;
 
   private:
+    /**
+     * The single source of truth for how the current policy and
+     * seed map onto one cache's mutable flags; both construction
+     * (via l1ConfigFor/l2ConfigFor) and reset() go through these.
+     * @p name is the cache's seed-stream label. Allocation-free.
+     */
+    GpuCache::PolicyView l1PolicyView(std::string_view name) const;
+    GpuCache::PolicyView l2PolicyView(std::string_view name) const;
+
+    /** L1 config for CU @p i under the current policy and seed. */
+    GpuCacheConfig l1ConfigFor(unsigned i) const;
+
+    /** L2 bank config for bank @p j under the current policy/seed. */
+    GpuCacheConfig l2ConfigFor(unsigned j) const;
+
     SimConfig cfg_;
     CachePolicy policy_;
     EventQueue eventq_;

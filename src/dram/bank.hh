@@ -65,6 +65,15 @@ class Bank
         rowOpen_ = false;
     }
 
+    /** Forget all state (System::reset()). */
+    void
+    reset()
+    {
+        rowOpen_ = false;
+        openRow_ = 0;
+        readyAt_ = 0;
+    }
+
   private:
     bool rowOpen_ = false;
     std::uint64_t openRow_ = 0;

@@ -191,6 +191,28 @@ Channel::serviceQueues()
 }
 
 void
+Channel::reset()
+{
+    panic_if(!readQ_.empty(), "resetting channel with reads in flight");
+    writeQ_.clear();
+    for (Bank &bank : banks_)
+        bank.reset();
+    writeMode_ = false;
+    busFreeAt_ = 0;
+    lastWasWrite_ = false;
+    lastReadArrival_ = 0;
+
+    statReads_.reset();
+    statWrites_.reset();
+    statReadRowHits_.reset();
+    statWriteRowHits_.reset();
+    statReadRowConflicts_.reset();
+    statWriteRowConflicts_.reset();
+    statTurnarounds_.reset();
+    statReadQueueLatency_.reset();
+}
+
+void
 Channel::regStats(StatGroup &group)
 {
     group.addScalar("reads", "read bursts serviced", &statReads_);

@@ -52,6 +52,14 @@ class Channel : public SimObject
         return readQ_.empty() && writeQ_.empty();
     }
 
+    /**
+     * Drop queued work (acked posted writes may still be draining at
+     * run end; their packets were consumed at the ack) and return
+     * banks, bus, and stats to the just-constructed state. No read
+     * may be in flight. Part of System::reset().
+     */
+    void reset();
+
     void regStats(StatGroup &group) override;
 
     // --- aggregate counters for the experiment harness ---

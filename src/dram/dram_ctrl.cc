@@ -1,5 +1,7 @@
 #include "dram/dram_ctrl.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace migc
@@ -69,6 +71,19 @@ DramCtrl::handleChannelSpaceFreed()
             ports_[i]->sendReqRetry();
         }
     }
+}
+
+void
+DramCtrl::reset()
+{
+    panic_if(!routeBack_.empty(),
+             "resetting DRAM with unanswered requests");
+    for (auto &ch : channels_)
+        ch->reset();
+    for (auto &rq : respQueues_)
+        rq->reset();
+    std::fill(clientWaiting_.begin(), clientWaiting_.end(), false);
+    statRejects_.reset();
 }
 
 void

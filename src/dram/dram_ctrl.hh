@@ -40,6 +40,9 @@ class DramCtrl : public SimObject
 
     void regStats(StatGroup &group) override;
 
+    /** Reset every channel, queue, and stat (System::reset()). */
+    void reset();
+
     // --- aggregates for the experiment harness ---
     double totalReads() const;
     double totalWrites() const;

@@ -88,6 +88,29 @@ ComputeUnit::idle() const
 }
 
 void
+ComputeUnit::reset()
+{
+    panic_if(!idle(), "resetting CU %u with work in flight", cuId_);
+    for (auto &wf : slots_)
+        wf.reset();
+    std::fill(simdBusyUntil_.begin(), simdBusyUntil_.end(), 0);
+    std::fill(simdRoundRobin_.begin(), simdRoundRobin_.end(), 0u);
+    memQueue_.clear();
+    portBlocked_ = false;
+    loadCtx_.clear();
+    outstandingStores_ = 0;
+    liveWavefronts_ = 0;
+    wgLiveWaves_.clear();
+
+    statVops_.reset();
+    statLoadReqs_.reset();
+    statStoreReqs_.reset();
+    statLdsCycles_.reset();
+    statActiveCycles_.reset();
+    statWavefrontsRun_.reset();
+}
+
+void
 ComputeUnit::signalWork()
 {
     if (!tickEvent_.scheduled())

@@ -54,6 +54,13 @@ class ComputeUnit : public SimObject
     /** No live wavefronts and no memory traffic in flight. */
     bool idle() const;
 
+    /**
+     * Return to the just-constructed state, keeping all storage
+     * (wavefront slots, queue buffers, hash-map buckets) allocated.
+     * The CU must be idle. Part of System::reset().
+     */
+    void reset();
+
     unsigned liveWavefronts() const { return liveWavefronts_; }
 
     std::uint64_t outstandingStores() const { return outstandingStores_; }

@@ -151,6 +151,24 @@ Dispatcher::afterBoundary()
 }
 
 void
+Dispatcher::reset()
+{
+    panic_if(running_, "resetting a running dispatcher");
+    kernels_.clear();
+    onDone_ = nullptr;
+    kernelIdx_ = 0;
+    nextWg_ = 0;
+    wgsOutstanding_ = 0;
+    rrCu_ = 0;
+    draining_ = false;
+
+    statKernels_.reset();
+    statWorkgroups_.reset();
+    statFlushes_.reset();
+    statInvalidates_.reset();
+}
+
+void
 Dispatcher::regStats(StatGroup &group)
 {
     group.addScalar("kernels", "kernels launched", &statKernels_);

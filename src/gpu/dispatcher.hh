@@ -68,6 +68,12 @@ class Dispatcher : public SimObject
 
     bool running() const { return running_; }
 
+    /**
+     * Return to the just-constructed state; must not be running.
+     * Part of System::reset().
+     */
+    void reset();
+
     void regStats(StatGroup &group) override;
 
     double kernelsLaunched() const { return statKernels_.value(); }

@@ -57,6 +57,14 @@ Gpu::allCusIdle() const
 }
 
 void
+Gpu::reset()
+{
+    dispatcher_->reset();
+    for (auto &cu : cus_)
+        cu->reset();
+}
+
+void
 Gpu::regStats(StatGroup &group)
 {
     dispatcher_->regStats(group.child("dispatcher"));

@@ -39,6 +39,9 @@ class Gpu
 
     bool allCusIdle() const;
 
+    /** Reset the dispatcher and every CU (System::reset()). */
+    void reset();
+
     void regStats(StatGroup &group);
 
   private:

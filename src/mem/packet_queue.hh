@@ -39,6 +39,9 @@ class RespPacketQueue
 
     std::size_t size() const { return queue_.size(); }
 
+    /** Drop all entries (System::reset(); owner reclaims packets). */
+    void reset() { queue_.clear(); }
+
   private:
     void drain();
 
@@ -82,6 +85,14 @@ class ReqPacketQueue
     onSpaceFreed(std::function<void()> cb)
     {
         spaceFreed_ = std::move(cb);
+    }
+
+    /** Drop all entries and any retry-wait (System::reset()). */
+    void
+    reset()
+    {
+        queue_.clear();
+        waitingRetry_ = false;
     }
 
   private:

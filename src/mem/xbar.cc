@@ -104,6 +104,25 @@ XBar::handleOutputSpaceFreed(unsigned output)
 }
 
 void
+XBar::reset()
+{
+    panic_if(!routeBack_.empty(),
+             "resetting crossbar with requests in flight");
+    for (auto &q : reqQueues_)
+        q->reset();
+    for (auto &q : respQueues_)
+        q->reset();
+    std::fill(outputNextFree_.begin(), outputNextFree_.end(), 0);
+    std::fill(inputNextFree_.begin(), inputNextFree_.end(), 0);
+    for (auto &waiters : waitingInputs_)
+        waiters.clear();
+
+    statReqPackets_.reset();
+    statRespPackets_.reset();
+    statRejects_.reset();
+}
+
+void
 XBar::regStats(StatGroup &group)
 {
     group.addScalar("req_packets", "requests routed", &statReqPackets_);

@@ -52,6 +52,9 @@ class XBar : public SimObject
 
     void regStats(StatGroup &group) override;
 
+    /** Reset routing state, queues, and stats (System::reset()). */
+    void reset();
+
   private:
     bool handleRequest(unsigned src, PacketPtr pkt);
     void handleResponse(unsigned dst_output, PacketPtr pkt);

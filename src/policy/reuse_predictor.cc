@@ -72,6 +72,11 @@ ReusePredictor::reset()
 {
     for (auto &c : table_)
         c = static_cast<std::uint8_t>(cfg_.initialValue);
+    statLookups_.reset();
+    statBypassPredictions_.reset();
+    statSampledOverrides_.reset();
+    statTrainReuse_.reset();
+    statTrainNoReuse_.reset();
 }
 
 void

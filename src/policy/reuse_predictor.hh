@@ -66,7 +66,7 @@ class ReusePredictor
     /** Raw counter value for @p pc (tests / introspection). */
     unsigned counterFor(Addr pc) const;
 
-    /** Reset all counters to the initial value. */
+    /** Reset all counters to the initial value and zero the stats. */
     void reset();
 
     void regStats(StatGroup &group);

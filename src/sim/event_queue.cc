@@ -119,6 +119,20 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
+void
+EventQueue::reset()
+{
+    for (HeapSlot &slot : heap_) {
+        slot.ev->heapIndex_ = Event::invalidIndex;
+        slot.ev->queue_ = nullptr;
+    }
+    heap_.clear();
+    curTick_ = 0;
+    nextSeq_ = 0;
+    numProcessed_ = 0;
+    processedByCategory_.fill(0);
+}
+
 Event *
 EventQueue::popTop()
 {

@@ -168,6 +168,17 @@ class EventQueue
      */
     std::size_t heapSize() const { return heap_.size(); }
 
+    /**
+     * Return the queue to its just-constructed state while keeping
+     * the heap array's capacity: every pending event is detached
+     * (unscheduled, safe to destroy or reschedule), the clock returns
+     * to tick 0, the insertion sequence restarts, and the processed
+     * counters clear. Used by System::reset() so a worker can re-run
+     * a simulation on warm storage; a reset queue is observationally
+     * identical to a fresh one.
+     */
+    void reset();
+
     /** Pop and process exactly one event. Queue must not be empty. */
     void serviceOne();
 

@@ -12,6 +12,7 @@
 #include "core/experiments.hh"
 #include "core/runner.hh"
 #include "core/sim_config.hh"
+#include "core/sweep_engine.hh"
 #include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "workloads/workload.hh"
@@ -48,6 +49,7 @@ expectIdentical(const RunMetrics &a, const RunMetrics &b)
     EXPECT_EQ(a.allocBypassed, b.allocBypassed);
     EXPECT_EQ(a.predictorBypasses, b.predictorBypasses);
     EXPECT_EQ(a.kernels, b.kernels);
+    EXPECT_EQ(a.simEvents, b.simEvents);
 }
 
 /** Scoped env var set/restore (duplicated from test_experiments to
@@ -146,4 +148,38 @@ TEST(Determinism, SerialAndParallelSweepsAreBitIdentical)
         for (const auto &p : policies)
             expectIdentical(serial.get(w, p), parallel.get(w, p));
     }
+}
+
+TEST(Determinism, LptMultiConfigSweepIsBitIdenticalAcrossJobCounts)
+{
+    // A mixed-config grid through the sweep engine: two structurally
+    // different configs, several policies. The LPT scheduler and
+    // per-worker System reuse must not leak any state between runs -
+    // one worker replaying everything serially and four workers
+    // racing must produce bit-identical metrics.
+    SimConfig small = SimConfig::testConfig();
+    SimConfig big_dbi = SimConfig::testConfig();
+    big_dbi.l2Bank.dbiRows = 16;
+    ASSERT_FALSE(SimConfig::structurallyEqual(small, big_dbi));
+
+    std::vector<RunRequest> grid;
+    for (const auto &w : {"FwSoft", "FwBN", "BwSoft"}) {
+        for (const auto &p : {"Uncached", "CacheRW", "CacheRW-CR"}) {
+            grid.push_back(RunRequest{small, w, p});
+            grid.push_back(RunRequest{big_dbi, w, p});
+        }
+    }
+
+    SweepEngine one_worker("");
+    auto serial = one_worker.run(grid, 1);
+    SweepEngine four_workers("");
+    auto parallel = four_workers.run(grid, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+
+    // Both engines simulated every unique grid point exactly once.
+    EXPECT_EQ(one_worker.simulationsPerformed(), grid.size());
+    EXPECT_EQ(four_workers.simulationsPerformed(), grid.size());
 }

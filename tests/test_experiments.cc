@@ -1,5 +1,6 @@
-/** @file Tests for the ExperimentSweep engine: on-disk cache
- *  round-trips, cache bypass, and static-policy selection logic. */
+/** @file Tests for the experiment harness and the sweep engine: the
+ *  multi-config on-disk cache, cache bypass, cross-config isolation,
+ *  warm-cache replay, and static-policy selection logic. */
 
 #include <gtest/gtest.h>
 
@@ -10,6 +11,7 @@
 #include "core/experiments.hh"
 #include "core/metrics.hh"
 #include "core/sim_config.hh"
+#include "core/sweep_engine.hh"
 #include "workloads/workload.hh"
 
 using namespace migc;
@@ -72,16 +74,18 @@ fakeMetrics(const std::string &workload, const std::string &policy,
     return m;
 }
 
-/** Header tag the sweep cache format uses (see experiments.cc). */
-constexpr const char *kCacheTag = "# migc-sweep-v2 ";
+/** Multi-config header tags (see core/sweep_engine.cc). */
+constexpr const char *kCacheTagV3 = "# migc-sweep-v3";
+constexpr const char *kSectionTag = "# config ";
 
-/** Seed a cache file the sweep will accept for @p cfg. */
+/** Seed a v3 cache file with one section for @p cfg. */
 void
 writeCacheFile(const std::string &path, const SimConfig &cfg,
                const std::vector<RunMetrics> &rows)
 {
     std::ofstream out(path, std::ios::trunc);
-    out << kCacheTag << cfg.signature() << "\n";
+    out << kCacheTagV3 << "\n";
+    out << kSectionTag << cfg.signature() << "\n";
     out << RunMetrics::csvHeader() << "\n";
     for (const auto &m : rows)
         out << m.toCsv() << "\n";
@@ -104,11 +108,13 @@ TEST(ExperimentSweep, CacheRoundTripBySignature)
         ASSERT_TRUE(fileExists(path));
     }
 
-    // The first cache line must carry the format tag + signature.
+    // The file leads with the format tag, then this config's section.
     std::ifstream in(path);
     std::string line;
     ASSERT_TRUE(std::getline(in, line));
-    EXPECT_EQ(line, kCacheTag + cfg.signature());
+    EXPECT_EQ(line, kCacheTagV3);
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, kSectionTag + cfg.signature());
 
     // A new sweep on the same config must load the saved result
     // rather than resimulate: doctor the cached row and confirm the
@@ -122,7 +128,8 @@ TEST(ExperimentSweep, CacheRoundTripBySignature)
                   Tick(424242));
     }
 
-    // A different signature (changed seed) invalidates the cache.
+    // A different signature (changed seed) must not see the doctored
+    // section; it simulates its own result.
     SimConfig other = cfg;
     other.seed = cfg.seed + 1;
     {
@@ -157,8 +164,183 @@ TEST(ExperimentSweep, NoCacheEnvBypassesDisk)
     do {
         lines.push_back(line);
     } while (std::getline(in, line));
-    EXPECT_EQ(lines.size(), 3u); // signature + header + planted row
+    // tag + section + header + planted row, untouched
+    EXPECT_EQ(lines.size(), 4u);
     std::remove(path.c_str());
+}
+
+TEST(ExperimentSweep, LegacyV2CacheIsPreservedButNeverServed)
+{
+    const std::string path = tempCachePath("legacy_v2");
+    std::remove(path.c_str());
+
+    // A real pre-multi-config cache: "# migc-sweep-v2 <sig>" header
+    // in the OLD signature format (no structure hash) and rows
+    // without the sim_events column. The old format aliased
+    // structurally different configs, so its rows must never be
+    // served - but they must survive as a foreign section instead
+    // of being silently discarded.
+    const std::string old_sig =
+        "test:cus4:l2x4:64kB:ch4:scale0.125:seed1";
+    RunMetrics planted = fakeMetrics("FwSoft", "CacheRW", 424242);
+    std::string row = planted.toCsv();
+    row = row.substr(0, row.rfind(',')); // drop sim_events column
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "# migc-sweep-v2 " << old_sig << "\n";
+        out << "workload,policy,...legacy header...\n";
+        out << row << "\n";
+    }
+
+    SimConfig cfg = SimConfig::testConfig();
+    {
+        SweepEngine engine(path);
+        // Old-format rows do not satisfy current-format lookups.
+        EXPECT_NE(engine.get(cfg, "FwSoft", "CacheRW").execTicks,
+                  Tick(424242));
+        EXPECT_EQ(engine.simulationsPerformed(), 1u);
+    }
+
+    // After the rewrite, both the legacy row (re-serialized with the
+    // sim_events column defaulted to 0) and the fresh result coexist
+    // in the v3 file.
+    std::ifstream in(path);
+    std::string line;
+    bool legacy_section = false;
+    bool legacy_row = false;
+    std::size_t sections = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("# config ", 0) == 0) {
+            ++sections;
+            legacy_section |= line == "# config " + old_sig;
+        }
+        legacy_row |= line == row + ",0";
+    }
+    EXPECT_TRUE(legacy_section);
+    EXPECT_TRUE(legacy_row);
+    EXPECT_EQ(sections, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, CrossConfigSectionsDoNotClobberEachOther)
+{
+    const std::string path = tempCachePath("crossconfig");
+    std::remove(path.c_str());
+
+    SimConfig cfg_a = SimConfig::testConfig();
+    SimConfig cfg_b = SimConfig::testConfig();
+    cfg_b.seed = cfg_a.seed + 7;
+    ASSERT_NE(cfg_a.signature(), cfg_b.signature());
+
+    // Two engines with different configs fill one cache path in
+    // turn; each write must preserve the other's section.
+    Tick ticks_a = 0;
+    Tick ticks_b = 0;
+    {
+        SweepEngine engine(path);
+        ticks_a = engine.get(cfg_a, "FwSoft", "Uncached").execTicks;
+        EXPECT_EQ(engine.simulationsPerformed(), 1u);
+    }
+    {
+        SweepEngine engine(path);
+        ticks_b = engine.get(cfg_b, "FwSoft", "Uncached").execTicks;
+        EXPECT_EQ(engine.simulationsPerformed(), 1u);
+    }
+
+    // A third engine resumes both results without simulating.
+    {
+        SweepEngine engine(path);
+        EXPECT_EQ(engine.get(cfg_a, "FwSoft", "Uncached").execTicks,
+                  ticks_a);
+        EXPECT_EQ(engine.get(cfg_b, "FwSoft", "Uncached").execTicks,
+                  ticks_b);
+        EXPECT_EQ(engine.simulationsPerformed(), 0u);
+        EXPECT_EQ(engine.cacheHits(), 2u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, OverlappingWritersUnionInsteadOfClobbering)
+{
+    const std::string path = tempCachePath("unionwriters");
+    std::remove(path.c_str());
+
+    SimConfig cfg_a = SimConfig::testConfig();
+    SimConfig cfg_b = SimConfig::testConfig();
+    cfg_b.seed = cfg_a.seed + 3;
+
+    // Both engines open the (empty) cache before either has written:
+    // the classic lost-update shape. Each save must union the file's
+    // latest contents, so the second writer preserves the first
+    // writer's section instead of overwriting it with its own
+    // load-time snapshot.
+    Tick ticks_a = 0;
+    Tick ticks_b = 0;
+    {
+        SweepEngine engine_a(path);
+        SweepEngine engine_b(path);
+        ticks_a = engine_a.get(cfg_a, "FwSoft", "Uncached").execTicks;
+        ticks_b = engine_b.get(cfg_b, "FwSoft", "Uncached").execTicks;
+    }
+
+    SweepEngine reader(path);
+    EXPECT_EQ(reader.get(cfg_a, "FwSoft", "Uncached").execTicks,
+              ticks_a);
+    EXPECT_EQ(reader.get(cfg_b, "FwSoft", "Uncached").execTicks,
+              ticks_b);
+    EXPECT_EQ(reader.simulationsPerformed(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, WarmCacheReplayPerformsZeroSimulations)
+{
+    const std::string path = tempCachePath("warmreplay");
+    std::remove(path.c_str());
+
+    // An ablation-style multi-config grid: same (workload, policy)
+    // at three DBI sizes plus a second workload.
+    std::vector<RunRequest> grid;
+    for (std::size_t rows : {4u, 16u, 64u}) {
+        SimConfig cfg = SimConfig::testConfig();
+        cfg.l2Bank.dbiRows = rows;
+        grid.push_back(RunRequest{cfg, "FwBN", "CacheRW-CR"});
+    }
+    grid.push_back(
+        RunRequest{SimConfig::testConfig(), "FwSoft", "CacheRW"});
+
+    std::vector<RunMetrics> cold;
+    {
+        SweepEngine engine(path);
+        cold = engine.run(grid);
+        EXPECT_EQ(engine.simulationsPerformed(), grid.size());
+    }
+
+    // Re-running the whole ablation from the on-disk cache must not
+    // simulate anything and must reproduce every row.
+    {
+        SweepEngine engine(path);
+        std::vector<RunMetrics> warm = engine.run(grid);
+        EXPECT_EQ(engine.simulationsPerformed(), 0u);
+        ASSERT_EQ(warm.size(), cold.size());
+        for (std::size_t i = 0; i < cold.size(); ++i) {
+            EXPECT_EQ(warm[i].execTicks, cold[i].execTicks);
+            EXPECT_EQ(warm[i].dramAccesses, cold[i].dramAccesses);
+            EXPECT_EQ(warm[i].simEvents, cold[i].simEvents);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, DuplicateRequestsSimulateOnce)
+{
+    SweepEngine engine(""); // in-memory only
+    SimConfig cfg = SimConfig::testConfig();
+    std::vector<RunRequest> grid(3, RunRequest{cfg, "FwSoft", "CacheR"});
+    std::vector<RunMetrics> results = engine.run(grid);
+    EXPECT_EQ(engine.simulationsPerformed(), 1u);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].execTicks, results[1].execTicks);
+    EXPECT_EQ(results[0].execTicks, results[2].execTicks);
 }
 
 TEST(ExperimentSweep, StaticBestAndWorstSelection)
@@ -214,5 +396,10 @@ TEST(ExperimentSweep, PrefetchFillsTheGridWithoutResimulation)
             ++rows;
     }
     EXPECT_EQ(rows, workloadOrder().size());
+
+    // A second sweep over the same grid replays from disk.
+    ExperimentSweep warm(cfg);
+    warm.prefetch({"Uncached"});
+    EXPECT_EQ(warm.engine().simulationsPerformed(), 0u);
     std::remove(path.c_str());
 }

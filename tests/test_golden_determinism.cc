@@ -18,9 +18,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/runner.hh"
 #include "core/sim_config.hh"
+#include "core/system.hh"
+#include "workloads/workload.hh"
 
 using namespace migc;
 
@@ -100,6 +104,66 @@ TEST_P(GoldenDeterminism, RepeatedRunsAreTickIdentical)
     EXPECT_EQ(a.execTicks, b.execTicks);
     EXPECT_EQ(a.dramReads, b.dramReads);
     EXPECT_EQ(a.cacheStallCycles, b.cacheStallCycles);
+}
+
+TEST(GoldenDeterminism, ReusedSystemMatchesGoldensThroughResets)
+{
+    // The sweep engine's reuse pattern: ONE System carried through
+    // all six golden pairs via System::reset(), changing policy and
+    // seed at every step (Uncached -> CacheR -> CacheRW -> AB -> CR
+    // -> PCby). Every run must be bit-identical to the fresh-System
+    // goldens above; any state leaking across a reset shows up here.
+    SimConfig cfg = SimConfig::testConfig();
+    std::unique_ptr<System> sys;
+    for (const Golden &g : kGoldens) {
+        const std::uint64_t seed =
+            runSeedFor(cfg, g.workload, g.policy);
+        const CachePolicy policy = CachePolicy::fromName(g.policy);
+        if (sys == nullptr) {
+            SimConfig run_cfg = cfg;
+            run_cfg.seed = seed;
+            sys = std::make_unique<System>(run_cfg, policy);
+        } else {
+            sys->reset(policy, seed);
+        }
+        auto wl = makeWorkload(g.workload);
+        RunMetrics m = runWorkloadOn(*sys, *wl);
+
+        EXPECT_EQ(m.execTicks, g.execTicks) << g.workload;
+        EXPECT_EQ(m.gpuMemRequests, g.gpuMemRequests) << g.workload;
+        EXPECT_EQ(m.dramReads, g.dramReads) << g.workload;
+        EXPECT_EQ(m.dramWrites, g.dramWrites) << g.workload;
+        EXPECT_EQ(m.cacheStallCycles, g.cacheStallCycles) << g.workload;
+        EXPECT_EQ(m.l1Hits, g.l1Hits) << g.workload;
+        EXPECT_EQ(m.l1Misses, g.l1Misses) << g.workload;
+        EXPECT_EQ(m.l2Hits, g.l2Hits) << g.workload;
+        EXPECT_EQ(m.l2Misses, g.l2Misses) << g.workload;
+        EXPECT_EQ(m.l2Writebacks, g.l2Writebacks) << g.workload;
+        EXPECT_EQ(m.rinseWritebacks, g.rinseWritebacks) << g.workload;
+        EXPECT_EQ(m.allocBypassed, g.allocBypassed) << g.workload;
+        EXPECT_EQ(m.predictorBypasses, g.predictorBypasses)
+            << g.workload;
+        EXPECT_EQ(m.kernels, g.kernels) << g.workload;
+    }
+}
+
+TEST(GoldenDeterminism, ResetRunHasSameSimEventsAsFreshRun)
+{
+    // simEvents feeds the LPT cost model; a reused System's per-run
+    // event count must match a fresh one's exactly.
+    SimConfig cfg = SimConfig::testConfig();
+    RunMetrics fresh = runNamedWorkload("FwBN", cfg, "CacheR");
+
+    const std::uint64_t seed = runSeedFor(cfg, "FwBN", "CacheR");
+    SimConfig run_cfg = cfg;
+    run_cfg.seed = runSeedFor(cfg, "DGEMM", "Uncached");
+    System sys(run_cfg, CachePolicy::fromName("Uncached"));
+    runWorkloadOn(sys, *makeWorkload("DGEMM"));
+    sys.reset(CachePolicy::fromName("CacheR"), seed);
+    RunMetrics reused = runWorkloadOn(sys, *makeWorkload("FwBN"));
+
+    EXPECT_EQ(reused.simEvents, fresh.simEvents);
+    EXPECT_EQ(reused.execTicks, fresh.execTicks);
 }
 
 INSTANTIATE_TEST_SUITE_P(
