@@ -5,6 +5,7 @@
  * kernel counts and scaled footprints this reproduction simulates.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -21,7 +22,18 @@ main()
     std::printf("%-9s %-34s %11s %13s | %13s %13s %-20s\n", "name",
                 "input (paper)", "kern(paper)", "footpr(paper)",
                 "kern(model)", "footpr(model)", "category");
-    for (const auto &name : workloadOrder()) {
+    const auto paper = workloadOrder();
+    bool extensions = false;
+    for (const auto &name : extendedWorkloadOrder()) {
+        bool is_extension =
+            std::find(paper.begin(), paper.end(), name) == paper.end();
+        if (is_extension && !extensions) {
+            extensions = true;
+            std::printf("--- model extensions (not in the paper; "
+                        "footprint scales with workloadScale=%.3f) "
+                        "---\n",
+                        cfg.workloadScale);
+        }
         auto wl = makeWorkload(name);
         WorkloadInfo info = wl->paperInfo();
         auto kernels = wl->kernels(cfg.workloadScale);

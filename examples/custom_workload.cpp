@@ -1,9 +1,11 @@
 /**
  * @file
  * Custom workload: shows how a downstream user defines their own MI
- * kernel with ProgramBuilder and runs it through the policy stack -
- * here, a strided attention-score kernel (Q.K^T row block) that is
- * not part of the paper's suite.
+ * kernel with ProgramBuilder, registers it in the WorkloadRegistry,
+ * and runs it through the policy stack by name - here, a strided
+ * attention-score kernel (Q.K^T row block) that is not part of the
+ * paper's suite (the full three-phase attention workload lives in
+ * src/workloads/attention.cc as "Attn").
  */
 
 #include <cstdio>
@@ -36,8 +38,9 @@ class AttentionScores : public Workload
         return {"seq 256, dim 256 (not in paper)", 1, 1, "0.8 MB"};
     }
 
+  protected:
     std::vector<KernelDesc>
-    kernels(double scale) const override
+    buildKernels(double scale) const override
     {
         const std::uint32_t seq =
             std::max<std::uint32_t>(64,
@@ -76,7 +79,7 @@ class AttentionScores : public Workload
     }
 
     std::uint64_t
-    footprintBytes(double scale) const override
+    modelFootprint(double scale) const override
     {
         std::uint64_t seq = std::max<std::uint64_t>(
             64, static_cast<std::uint64_t>(256 * scale));
@@ -94,13 +97,18 @@ main()
     SimConfig cfg = SimConfig::defaultConfig();
     cfg.workloadScale = 1.0;
 
-    AttentionScores wl;
-    std::cout << "custom workload '" << wl.name()
-              << "' under all policies:\n\n";
+    // Registering the workload makes it addressable by name through
+    // every run entry point - runNamedWorkload, the sweep engine and
+    // its on-disk cache, and the figure binaries' grids.
+    WorkloadRegistry::instance().add(WorkloadRegistry::Entry{
+        "AttnScores", [] { return std::make_unique<AttentionScores>(); },
+        -1});
+
+    std::cout << "custom workload 'AttnScores' under all policies:\n\n";
     std::printf("%-13s %10s %12s %10s\n", "policy", "exec(us)",
                 "DRAM", "L2 hit rate");
     for (const auto &policy : CachePolicy::allPolicies()) {
-        RunMetrics m = runWorkload(wl, cfg, policy);
+        RunMetrics m = runNamedWorkload("AttnScores", cfg, policy.name);
         double l2_acc = m.l2Hits + m.l2Misses;
         std::printf("%-13s %10.1f %12.0f %10.3f\n",
                     policy.name.c_str(), m.execSeconds * 1e6,

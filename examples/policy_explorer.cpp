@@ -1,25 +1,36 @@
 /**
  * @file
- * Policy explorer: run one workload under all six caching
- * configurations (three static + three cumulative optimizations) and
- * report how each mechanism moves the bottlenecks - a miniature of
- * the paper's Section VII analysis for a single workload.
+ * Policy explorer: run one workload under all six paper caching
+ * configurations plus the three dynamic policies and report how each
+ * mechanism moves the bottlenecks - a miniature of the paper's
+ * Section VII analysis for a single workload.
  *
  * Usage: policy_explorer [workload] [scale]
+ *        policy_explorer --list   (print both registries and exit)
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "core/runner.hh"
 #include "core/sim_config.hh"
 #include "policy/cache_policy.hh"
+#include "policy/policy_registry.hh"
 #include "workloads/workload.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace migc;
+
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::cout << "registered cache policies:\n"
+                  << PolicyRegistry::instance().describe()
+                  << "\nregistered workloads:\n"
+                  << WorkloadRegistry::instance().describe();
+        return 0;
+    }
 
     std::string name = argc > 1 ? argv[1] : "FwLRN";
     double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
@@ -31,17 +42,21 @@ main(int argc, char **argv)
     std::cout << "policy sweep for " << workload->name() << " ("
               << categoryName(workload->category()) << ")\n\n";
 
-    std::printf("%-13s %10s %8s %9s %9s %10s %10s %10s\n", "policy",
+    std::printf("%-14s %10s %8s %9s %9s %10s %10s %10s\n", "policy",
                 "exec(us)", "rel", "DRAM", "row-hit", "stalls/req",
                 "allocByp", "predByp");
 
+    auto policies = CachePolicy::allPolicies();
+    for (const auto &p : CachePolicy::dynamicPolicies())
+        policies.push_back(p);
+
     double base_us = 0;
-    for (const auto &policy : CachePolicy::allPolicies()) {
+    for (const auto &policy : policies) {
         RunMetrics m = runWorkload(*workload, cfg, policy);
         double us = m.execSeconds * 1e6;
         if (policy.name == "Uncached")
             base_us = us;
-        std::printf("%-13s %10.1f %8.3f %9.0f %9.3f %10.4f %10.0f "
+        std::printf("%-14s %10.1f %8.3f %9.0f %9.3f %10.4f %10.0f "
                     "%10.0f\n",
                     policy.name.c_str(), us,
                     base_us > 0 ? us / base_us : 1.0, m.dramAccesses,

@@ -9,9 +9,11 @@ namespace migc
 
 GpuCache::GpuCache(const GpuCacheConfig &cfg, EventQueue &eq,
                    PacketPool &pool, const AddressMap *addr_map,
-                   ReusePredictor *predictor)
+                   ReusePredictor *predictor, PolicyEngine *engine,
+                   CacheLevel level)
     : SimObject(cfg.name, eq, ClockDomain(cfg.clockPeriod)), cfg_(cfg),
       pktPool_(pool), addrMap_(addr_map), predictor_(predictor),
+      engine_(engine), level_(level),
       tags_(cfg.size, cfg.assoc, cfg.lineSize, cfg.repl, cfg.seed,
             cfg.bankInterleaveBits),
       mshrs_(cfg.mshrs, cfg.targetsPerMshr),
@@ -129,38 +131,66 @@ GpuCache::occupyPort()
 // ---------------------------------------------------------------------
 
 bool
+GpuCache::storeAllocates(Addr addr)
+{
+    if (engine_ == nullptr || !engine_->duelingActive(level_))
+        return true;
+    return engine_->cacheStore(
+        engine_->duelRole(tags_.setIndex(addr), tags_.numSets()));
+}
+
+bool
+GpuCache::occupancyPreBypass(PacketPtr pkt)
+{
+    return engine_ != nullptr && engine_->occupancyBypassActive() &&
+           engine_->occupancyBypass(tags_.busyWays(pkt->addr),
+                                    cfg_.assoc);
+}
+
+void
+GpuCache::noteDuelCost(Addr addr, DuelRole charged_role)
+{
+    if (engine_ == nullptr || !engine_->duelingActive(level_))
+        return;
+    unsigned set = tags_.setIndex(addr);
+    if (engine_->duelRole(set, tags_.numSets()) != charged_role)
+        return;
+    tags_.bumpDuelSample(set);
+    if (charged_role == DuelRole::leaderR)
+        engine_->noteDuelBypassStore();
+    else
+        engine_->noteDuelWriteback();
+}
+
+bool
 GpuCache::handleRequest(PacketPtr pkt)
 {
     panic_if(pkt->addr != tags_.lineAlign(pkt->addr),
              "unaligned cache request %s", pkt->print().c_str());
 
-    bool cached_path =
-        (pkt->cmd == MemCmd::ReadReq && cfg_.cacheLoads &&
-         !pkt->hasFlag(pktFlagBypass)) ||
-        (pkt->cmd == MemCmd::WriteReq && cfg_.cacheStores &&
-         !pkt->hasFlag(pktFlagBypass));
-
-    if (curTick() < nextPortFree_)
-        return reject(RejectReason::port, cached_path);
-
-    bool ok = false;
+    bool cached_path = false;
     switch (pkt->cmd) {
       case MemCmd::ReadReq:
-        if (cfg_.cacheLoads && !pkt->hasFlag(pktFlagBypass))
-            ok = cachedRead(pkt);
-        else
-            ok = bypassRead(pkt);
+        cached_path = cfg_.cacheLoads && !pkt->hasFlag(pktFlagBypass);
         break;
       case MemCmd::WriteReq:
-        if (cfg_.cacheStores && !pkt->hasFlag(pktFlagBypass))
-            ok = cachedWrite(pkt);
-        else
-            ok = bypassWrite(pkt);
+        cached_path = cfg_.cacheStores &&
+                      !pkt->hasFlag(pktFlagBypass) &&
+                      storeAllocates(pkt->addr);
         break;
       default:
         panic("unexpected request %s at cache %s", pkt->print().c_str(),
               name().c_str());
     }
+
+    if (curTick() < nextPortFree_)
+        return reject(RejectReason::port, cached_path);
+
+    bool ok;
+    if (pkt->cmd == MemCmd::ReadReq)
+        ok = cached_path ? cachedRead(pkt) : bypassRead(pkt);
+    else
+        ok = cached_path ? cachedWrite(pkt) : bypassWrite(pkt);
 
     if (ok) {
         occupyPort();
@@ -200,6 +230,14 @@ GpuCache::cachedRead(PacketPtr pkt)
     // Demand miss.
     if (predictor_ && !predictor_->shouldCache(pkt->pc, pkt->addr)) {
         ++statPredictorBypasses_;
+        return bypassRead(pkt);
+    }
+
+    // Adaptive allocation bypass: convert to a bypass before the set
+    // congests, not only once allocation actually blocks below.
+    if (occupancyPreBypass(pkt)) {
+        ++statAllocBypassed_;
+        pkt->setFlag(pktFlagAllocBypassed);
         return bypassRead(pkt);
     }
 
@@ -294,6 +332,12 @@ GpuCache::cachedWrite(PacketPtr pkt)
     // Store miss: write-validate (allocate dirty, no fetch).
     if (predictor_ && !predictor_->shouldCache(pkt->pc, pkt->addr)) {
         ++statPredictorBypasses_;
+        return bypassWrite(pkt);
+    }
+
+    if (occupancyPreBypass(pkt)) {
+        ++statAllocBypassed_;
+        pkt->setFlag(pktFlagAllocBypassed);
         return bypassWrite(pkt);
     }
 
@@ -421,6 +465,9 @@ GpuCache::bypassWrite(PacketPtr pkt)
         return reject(RejectReason::memQueueFull, false);
 
     ++statBypassWrites_;
+    // A store bypassing a CacheR leader set is that constituency's
+    // DRAM-write cost in the store-policy duel.
+    noteDuelCost(pkt->addr, DuelRole::leaderR);
     // Forward the original packet; the ack routes back through us.
     memQueue_.push(pkt, clockEdge(cfg_.bypassLatency));
     return true;
@@ -449,15 +496,25 @@ GpuCache::evictBlock(CacheBlk *blk)
         scheduleWriteback(blk->addr, pktFlagNone);
         if (cfg_.rinsing) {
             std::uint64_t row = addrMap_->rowId(blk->addr);
-            // Rinse: push every other dirty line of this DRAM row out
-            // with the victim so the controller sees row-clustered
-            // writes (Section VII.B). Rinsed lines stay cached clean.
-            for (Addr line : dbi_->takeRow(row, blk->addr)) {
-                CacheBlk *rb = tags_.findBlock(line);
-                if (rb && rb->isDirty()) {
-                    scheduleWriteback(line, pktFlagRinse);
-                    rb->state = BlkState::valid;
+            if (engine_ == nullptr ||
+                engine_->rinseRow(dbi_->rowPopulation(row))) {
+                // Rinse: push every other dirty line of this DRAM row
+                // out with the victim so the controller sees row-
+                // clustered writes (Section VII.B). Rinsed lines stay
+                // cached clean.
+                for (Addr line : dbi_->takeRow(row, blk->addr)) {
+                    CacheBlk *rb = tags_.findBlock(line);
+                    if (rb && rb->isDirty()) {
+                        scheduleWriteback(line, pktFlagRinse);
+                        rb->state = BlkState::valid;
+                    }
                 }
+            } else {
+                // Dynamic threshold says the row is still too sparse
+                // to drain: keep its other dirty lines cached and
+                // only drop the evicted line from the index.
+                ++statRinseDeferred_;
+                dbi_->remove(row, blk->addr);
             }
         }
     }
@@ -474,6 +531,9 @@ GpuCache::scheduleWriteback(Addr line_addr, std::uint32_t flags)
         ++statRinseWritebacks_;
     if (flags & pktFlagFlush)
         ++statFlushWritebacks_;
+    // A writeback leaving a CacheRW leader set is that constituency's
+    // DRAM-write cost in the store-policy duel.
+    noteDuelCost(line_addr, DuelRole::leaderRW);
 
     wbQueue_.push_back(PendingWb{line_addr, flags});
     ++outstandingWbs_;
@@ -689,6 +749,7 @@ GpuCache::reset(const PolicyView &pv, ReusePredictor *predictor)
     statStoresAbsorbed_.reset();
     statWritebacks_.reset();
     statRinseWritebacks_.reset();
+    statRinseDeferred_.reset();
     statFlushWritebacks_.reset();
     statAllocBlockedRejects_.reset();
     statAllocBypassed_.reset();
@@ -727,6 +788,10 @@ GpuCache::regStats(StatGroup &group)
                     &statWritebacks_);
     group.addScalar("rinse_writebacks", "writebacks from DBI rinsing",
                     &statRinseWritebacks_);
+    group.addScalar("rinse_deferred",
+                    "eviction rows kept cached by the dynamic "
+                    "rinse threshold",
+                    &statRinseDeferred_);
     group.addScalar("flush_writebacks", "writebacks from scope flushes",
                     &statFlushWritebacks_);
     group.addScalar("alloc_blocked_rejects",

@@ -36,6 +36,7 @@
 #include "mem/packet_pool.hh"
 #include "mem/packet_queue.hh"
 #include "mem/port.hh"
+#include "policy/policy_engine.hh"
 #include "policy/reuse_predictor.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -96,9 +97,17 @@ class GpuCache : public SimObject
      *                 (row ids), otherwise may be null.
      * @param predictor shared PC reuse predictor, or null to disable
      *                  prediction at this cache.
+     * @param engine the owning System's policy engine, consulted at
+     *               every allocate/bypass/rinse decision point, or
+     *               null for standalone (unit-test) caches, which
+     *               then behave exactly as their static config flags.
+     * @param level which hierarchy level this cache serves; selects
+     *              the engine's per-level verdicts.
      */
     GpuCache(const GpuCacheConfig &cfg, EventQueue &eq, PacketPool &pool,
-             const AddressMap *addr_map, ReusePredictor *predictor);
+             const AddressMap *addr_map, ReusePredictor *predictor,
+             PolicyEngine *engine = nullptr,
+             CacheLevel level = CacheLevel::l1);
 
     ~GpuCache() override;
 
@@ -216,6 +225,19 @@ class GpuCache : public SimObject
 
     // --- request paths ---
     bool handleRequest(PacketPtr pkt);
+
+    /** Per-request store verdict: does a store to @p addr coalesce
+     *  here? Static policies answer with the capability flag alone;
+     *  set dueling asks the engine for the set's constituency. */
+    bool storeAllocates(Addr addr);
+
+    /** Adaptive pre-bypass: convert this cached request to a bypass
+     *  because its target set's occupancy crossed the threshold? */
+    bool occupancyPreBypass(PacketPtr pkt);
+
+    /** Duel cost accounting for leader sets (no-op unless dueling). */
+    void noteDuelCost(Addr addr, DuelRole charged_role);
+
     bool cachedRead(PacketPtr pkt);
     bool cachedWrite(PacketPtr pkt);
     bool bypassRead(PacketPtr pkt);
@@ -257,6 +279,8 @@ class GpuCache : public SimObject
     PacketPool &pktPool_;
     const AddressMap *addrMap_;
     ReusePredictor *predictor_;
+    PolicyEngine *engine_;
+    CacheLevel level_;
 
     Tags tags_;
     MshrFile mshrs_;
@@ -305,6 +329,7 @@ class GpuCache : public SimObject
     StatScalar statStoresAbsorbed_;
     StatScalar statWritebacks_;
     StatScalar statRinseWritebacks_;
+    StatScalar statRinseDeferred_;
     StatScalar statFlushWritebacks_;
     StatScalar statAllocBlockedRejects_;
     StatScalar statAllocBypassed_;

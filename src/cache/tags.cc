@@ -1,5 +1,7 @@
 #include "cache/tags.hh"
 
+#include <algorithm>
+
 #include "mem/addr_utils.hh"
 #include "sim/logging.hh"
 
@@ -21,6 +23,7 @@ Tags::Tags(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
 
     setShift_ = floorLog2(line_size) + interleave_bits;
     blocks_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    duelSamples_.assign(numSets_, 0);
     scratch_ = std::make_unique<CacheBlk *[]>(assoc_);
 }
 
@@ -44,6 +47,17 @@ Tags::findBlock(Addr addr)
             return blk;
     }
     return nullptr;
+}
+
+unsigned
+Tags::busyWays(Addr addr)
+{
+    CacheBlk *blk = setBase(addr);
+    CacheBlk *const end = blk + assoc_;
+    unsigned busy = 0;
+    for (; blk != end; ++blk)
+        busy += blk->isBusy();
+    return busy;
 }
 
 CacheBlk *
@@ -117,6 +131,7 @@ Tags::reset(std::uint64_t seed)
 {
     for (auto &blk : blocks_)
         blk = CacheBlk{};
+    std::fill(duelSamples_.begin(), duelSamples_.end(), 0);
     stamp_ = 0;
     repl_->reset(seed);
 }

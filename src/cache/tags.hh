@@ -44,6 +44,10 @@ class Tags
     /** Find the block holding @p addr, or nullptr (any state). */
     CacheBlk *findBlock(Addr addr);
 
+    /** Busy (fill-pending) ways in @p addr's set; feeds the adaptive
+     *  occupancy-bypass policy. */
+    unsigned busyWays(Addr addr);
+
     /**
      * Choose a victim way in @p addr's set: an invalid block if one
      * exists, else the replacement policy's pick among non-busy
@@ -83,6 +87,26 @@ class Tags
      */
     void reset(std::uint64_t seed);
 
+    // --- set-dueling sample counters ---
+    // Tags records where duel cost events land; what a set's role
+    // means (leader/follower) and how samples move PSEL belong to
+    // the PolicyEngine. Counters saturate and reset with the tags.
+
+    /** Record one duel cost event against @p set. */
+    void
+    bumpDuelSample(unsigned set)
+    {
+        auto &c = duelSamples_[set];
+        if (c < UINT16_MAX)
+            ++c;
+    }
+
+    /** Cost events recorded against @p set this run. */
+    std::uint16_t duelSamples(unsigned set) const
+    {
+        return duelSamples_[set];
+    }
+
   private:
     /** First block of the set holding @p addr. */
     CacheBlk *
@@ -98,6 +122,7 @@ class Tags
     Addr lineMask_;
     unsigned setShift_;
     std::vector<CacheBlk> blocks_;
+    std::vector<std::uint16_t> duelSamples_;
     std::unique_ptr<ReplPolicy> repl_;
     std::uint64_t stamp_ = 0;
     /** Victim candidate buffer: assoc_ slots, allocated once. */

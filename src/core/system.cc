@@ -10,21 +10,22 @@ namespace migc
 GpuCache::PolicyView
 System::l1PolicyView(std::string_view name) const
 {
-    return GpuCache::PolicyView{
-        policy_.cacheLoadsL1,
-        false, // stores always bypass the L1
-        policy_.allocationBypass,
-        false, // rinsing is an L2 mechanism
-        deriveSeed(cfg_.seed, name)};
+    // The engine's per-level flags are the single source of truth
+    // for the policy -> cache-capability mapping (stores and rinsing
+    // are L2 mechanisms); System only adds the seed stream.
+    PolicyEngine::LevelFlags f = engine_.levelFlags(CacheLevel::l1);
+    return GpuCache::PolicyView{f.cacheLoads, f.cacheStores,
+                                f.allocationBypass, f.rinsing,
+                                deriveSeed(cfg_.seed, name)};
 }
 
 GpuCache::PolicyView
 System::l2PolicyView(std::string_view name) const
 {
-    return GpuCache::PolicyView{
-        policy_.cacheLoadsL2, policy_.cacheStoresL2,
-        policy_.allocationBypass, policy_.cacheRinsing,
-        deriveSeed(cfg_.seed, name)};
+    PolicyEngine::LevelFlags f = engine_.levelFlags(CacheLevel::l2);
+    return GpuCache::PolicyView{f.cacheLoads, f.cacheStores,
+                                f.allocationBypass, f.rinsing,
+                                deriveSeed(cfg_.seed, name)};
 }
 
 namespace
@@ -62,7 +63,8 @@ System::l2ConfigFor(unsigned j) const
 }
 
 System::System(const SimConfig &cfg, const CachePolicy &policy)
-    : cfg_(cfg), policy_(policy), predictor_(cfg.predictor)
+    : cfg_(cfg), policy_(policy), engine_(policy_),
+      predictor_(cfg.predictor)
 {
     // DRAM first: caches need its address map for row-aware rinsing.
     dram_ = std::make_unique<DramCtrl>("dram", eventq_, cfg_.dram,
@@ -74,7 +76,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
     for (unsigned i = 0; i < cfg_.gpu.numCus; ++i) {
         l1s_.push_back(std::make_unique<GpuCache>(
             l1ConfigFor(i), eventq_, pktPool_, &dram_->addressMap(),
-            nullptr));
+            nullptr, &engine_, CacheLevel::l1));
         gpu_->cu(i).memPort().bind(l1s_.back()->cpuSidePort());
     }
 
@@ -96,7 +98,10 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
     for (unsigned j = 0; j < cfg_.l2Banks; ++j) {
         l2Banks_.push_back(std::make_unique<GpuCache>(
             l2ConfigFor(j), eventq_, pktPool_, &dram_->addressMap(),
-            policy_.pcBypassL2 ? &predictor_ : nullptr));
+            engine_.levelFlags(CacheLevel::l2).usePredictor
+                ? &predictor_
+                : nullptr,
+            &engine_, CacheLevel::l2));
         xbar_->memSidePort(j).bind(l2Banks_.back()->cpuSidePort());
         l2Banks_.back()->memSidePort().bind(dram_->clientPort(j));
     }
@@ -134,6 +139,7 @@ System::System(const SimConfig &cfg, const CachePolicy &policy)
         l2->regStats(stats_.child(l2->name()));
     dram_->regStats(stats_.child("dram"));
     predictor_.regStats(stats_.child("predictor"));
+    engine_.regStats(stats_.child("policy"));
 }
 
 void
@@ -151,6 +157,7 @@ System::reset(const CachePolicy &policy, std::uint64_t seed)
 
     policy_ = policy;
     cfg_.seed = seed;
+    engine_.reset(policy_);
 
     // Per-cache flags and seeds re-derive through the same
     // l1PolicyView/l2PolicyView mapping the constructor used; the
@@ -160,8 +167,11 @@ System::reset(const CachePolicy &policy, std::uint64_t seed)
         l1s_[i]->reset(l1PolicyView(l1s_[i]->name()), nullptr);
     xbar_->reset();
     for (unsigned j = 0; j < cfg_.l2Banks; ++j) {
-        l2Banks_[j]->reset(l2PolicyView(l2Banks_[j]->name()),
-                           policy_.pcBypassL2 ? &predictor_ : nullptr);
+        l2Banks_[j]->reset(
+            l2PolicyView(l2Banks_[j]->name()),
+            engine_.levelFlags(CacheLevel::l2).usePredictor
+                ? &predictor_
+                : nullptr);
     }
     dram_->reset();
     predictor_.reset();

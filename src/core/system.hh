@@ -19,6 +19,7 @@
 #include "mem/packet_pool.hh"
 #include "mem/xbar.hh"
 #include "policy/cache_policy.hh"
+#include "policy/policy_engine.hh"
 #include "policy/reuse_predictor.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -68,6 +69,9 @@ class System
 
     ReusePredictor &predictor() { return predictor_; }
 
+    /** The run's policy decision engine (shared by every cache). */
+    PolicyEngine &policyEngine() { return engine_; }
+
     const SimConfig &config() const { return cfg_; }
 
     const CachePolicy &policy() const { return policy_; }
@@ -106,6 +110,7 @@ class System
 
     SimConfig cfg_;
     CachePolicy policy_;
+    PolicyEngine engine_;
     EventQueue eventq_;
     /** Declared before the components so packet storage outlives
      *  anything that might still reference it at teardown. */

@@ -1,5 +1,6 @@
 #include "policy/cache_policy.hh"
 
+#include "policy/policy_registry.hh"
 #include "sim/logging.hh"
 
 namespace migc
@@ -45,11 +46,7 @@ CachePolicy::make(PolicyKind kind)
 CachePolicy
 CachePolicy::fromName(const std::string &name)
 {
-    for (const auto &p : allPolicies()) {
-        if (p.name == name)
-            return p;
-    }
-    fatal("unknown cache policy '%s'", name.c_str());
+    return PolicyRegistry::instance().make(name);
 }
 
 std::vector<CachePolicy>
@@ -65,6 +62,13 @@ CachePolicy::allPolicies()
     return {make(PolicyKind::uncached),   make(PolicyKind::cacheR),
             make(PolicyKind::cacheRW),    make(PolicyKind::cacheRwAb),
             make(PolicyKind::cacheRwCr),  make(PolicyKind::cacheRwPcby)};
+}
+
+std::vector<CachePolicy>
+CachePolicy::dynamicPolicies()
+{
+    return {fromName("CacheRW-DynAB"), fromName("CacheRW-Duel"),
+            fromName("CacheRW-DynCR")};
 }
 
 } // namespace migc

@@ -1,6 +1,6 @@
 /**
  * @file
- * GPU caching policies studied by the paper.
+ * GPU caching policies studied by the paper, plus dynamic variants.
  *
  * Three static policies (Section III):
  *  - Uncached: loads and stores bypass all GPU caches.
@@ -13,6 +13,21 @@
  *          request whenever allocation would block.
  *  - CR:   row-locality-aware cache rinsing via a Dirty-Block Index.
  *  - PCby: PC-indexed reuse prediction for L2 loads and stores.
+ *
+ * Three dynamic policies beyond the paper (decided at run time by the
+ * PolicyEngine, see policy_engine.hh):
+ *  - DynAB: adaptive allocation bypass - convert to bypass as soon as
+ *           the target set's busy-way occupancy crosses a threshold,
+ *           before allocation actually blocks.
+ *  - Duel:  DIP-style set dueling between CacheR and CacheRW store
+ *           handling; leader sets sample both, followers follow PSEL.
+ *  - DynCR: rinsing with a dynamic row-dirtiness threshold - sparse
+ *           rows stay cached, rows at least as dirty as the running
+ *           mean drain in row-clustered bursts.
+ *
+ * Policies are constructed by name through the PolicyRegistry
+ * (policy_registry.hh); parameterized variants append "@value" to a
+ * registered base name (e.g. "CacheRW-DynAB@0.5").
  */
 
 #ifndef MIGC_POLICY_CACHE_POLICY_HH
@@ -35,7 +50,16 @@ enum class PolicyKind
     cacheRwPcby,
 };
 
-/** Tunable caching-policy knobs; presets via make(). */
+/** Run-time decision mechanisms layered on the static knobs. */
+enum class DynPolicy : std::uint8_t
+{
+    none,           ///< purely static: the booleans below decide
+    adaptiveBypass, ///< occupancy-threshold allocation bypass
+    setDueling,     ///< CacheR-vs-CacheRW store dueling (DIP-style)
+    dynamicRinse,   ///< row-dirtiness-threshold DBI rinsing
+};
+
+/** Tunable caching-policy knobs; presets via make() / fromName(). */
 struct CachePolicy
 {
     std::string name = "CacheRW";
@@ -46,7 +70,9 @@ struct CachePolicy
     /** Cache loads in the shared L2. */
     bool cacheLoadsL2 = true;
 
-    /** Coalesce stores in the shared L2 (write-back until flush). */
+    /** Coalesce stores in the shared L2 (write-back until flush).
+     *  Under set dueling this is the capability; the per-set verdict
+     *  comes from the PolicyEngine. */
     bool cacheStoresL2 = true;
 
     /** Convert to bypass instead of blocking on allocation. */
@@ -58,17 +84,44 @@ struct CachePolicy
     /** PC-based L2 bypass prediction (loads and stores). */
     bool pcBypassL2 = false;
 
+    // --- dynamic-policy mechanism and parameters ---
+
+    /** Which run-time mechanism (if any) refines the knobs above. */
+    DynPolicy dynamic = DynPolicy::none;
+
+    /** adaptiveBypass: busy-way fraction of the target set at which a
+     *  cached request converts to a bypass request, in (0, 1]. */
+    double dynBypassOccupancy = 0.75;
+
+    /** setDueling: one CacheR leader and one CacheRW leader every
+     *  this many sets (a power of two >= 2, so the constituencies
+     *  tile set counts evenly); the rest follow PSEL. */
+    unsigned duelLeaderPeriod = 32;
+
+    /** setDueling: PSEL saturating-counter width in bits. */
+    unsigned duelPselBits = 10;
+
+    /** dynamicRinse: never rinse rows with fewer dirty lines. */
+    unsigned dynRinseMinLines = 2;
+
     /** Build one of the paper's named configurations. */
     static CachePolicy make(PolicyKind kind);
 
-    /** Parse a policy name such as "CacheRW-AB" (fatal on unknown). */
+    /**
+     * Construct any registered policy - paper preset or parameterized
+     * dynamic variant - from its name via the PolicyRegistry (fatal
+     * on unknown, listing the valid names).
+     */
     static CachePolicy fromName(const std::string &name);
 
     /** The three static policies, in paper order. */
     static std::vector<CachePolicy> staticPolicies();
 
-    /** All six configurations, in paper order. */
+    /** All six paper configurations, in paper order. */
     static std::vector<CachePolicy> allPolicies();
+
+    /** The three dynamic policies at default parameters. */
+    static std::vector<CachePolicy> dynamicPolicies();
 
     /** True when no GPU cache ever allocates. */
     bool

@@ -1,0 +1,97 @@
+#include "policy/policy_engine.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+PolicyEngine::PolicyEngine(const CachePolicy &policy)
+{
+    applyPolicy(policy);
+}
+
+void
+PolicyEngine::applyPolicy(const CachePolicy &policy)
+{
+    fatal_if(policy.dynamic == DynPolicy::adaptiveBypass &&
+                 (policy.dynBypassOccupancy <= 0.0 ||
+                  policy.dynBypassOccupancy > 1.0),
+             "policy '%s': occupancy threshold must be in (0, 1]",
+             policy.name.c_str());
+    // Power-of-two periods divide every (power-of-two) set count, so
+    // the CacheR and CacheRW leader constituencies are always the
+    // same size and PSEL sampling is unbiased.
+    fatal_if(policy.dynamic == DynPolicy::setDueling &&
+                 (policy.duelLeaderPeriod < 2 ||
+                  (policy.duelLeaderPeriod &
+                   (policy.duelLeaderPeriod - 1)) != 0),
+             "policy '%s': leader period must be a power of two >= 2",
+             policy.name.c_str());
+    // Validated for every policy (not just dueling ones): the PSEL
+    // geometry below is always computed, and bits == 0 would shift
+    // by a negative amount.
+    fatal_if(policy.duelPselBits == 0 || policy.duelPselBits > 20,
+             "policy '%s': PSEL width must be in [1, 20] bits",
+             policy.name.c_str());
+    fatal_if(policy.dynamic == DynPolicy::dynamicRinse &&
+                 policy.dynRinseMinLines == 0,
+             "policy '%s': rinse floor must be >= 1",
+             policy.name.c_str());
+
+    // policy_ is assigned (not rebuilt), so the std::string name's
+    // storage is recycled whenever capacity allows - reset() stays
+    // allocation-free for same-or-shorter policy names, matching the
+    // rest of System::reset(); the golden suite's reuse test covers
+    // the cross-policy case.
+    policy_ = policy;
+
+    occupancyLimitQ8_ = static_cast<std::uint32_t>(
+        std::lround(policy_.dynBypassOccupancy * 256.0));
+    if (occupancyLimitQ8_ == 0)
+        occupancyLimitQ8_ = 1;
+
+    pselMax_ = (1u << policy_.duelPselBits) - 1;
+    pselInit_ = 1u << (policy_.duelPselBits - 1);
+    psel_ = pselInit_;
+
+    rinseAvgQ8_ = static_cast<std::int64_t>(policy_.dynRinseMinLines)
+                  << 8;
+
+    statDuelCostR_.reset();
+    statDuelCostRW_.reset();
+    statOccupancyBypasses_.reset();
+    statRinseRinsed_.reset();
+    statRinseDeferred_.reset();
+}
+
+void
+PolicyEngine::reset(const CachePolicy &policy)
+{
+    applyPolicy(policy);
+}
+
+void
+PolicyEngine::regStats(StatGroup &group)
+{
+    group.addScalar("duel_cost_r",
+                    "bypassed stores charged to CacheR leader sets",
+                    &statDuelCostR_);
+    group.addScalar("duel_cost_rw",
+                    "writebacks charged to CacheRW leader sets",
+                    &statDuelCostRW_);
+    group.addScalar("occupancy_bypasses",
+                    "requests pre-bypassed on set occupancy",
+                    &statOccupancyBypasses_);
+    group.addScalar("rinse_rows_rinsed",
+                    "eviction rows rinsed by the dynamic threshold",
+                    &statRinseRinsed_);
+    group.addScalar("rinse_rows_deferred",
+                    "eviction rows kept cached by the dynamic threshold",
+                    &statRinseDeferred_);
+    group.addFormula("duel_psel", "PSEL counter value",
+                     [this] { return static_cast<double>(psel_); });
+}
+
+} // namespace migc

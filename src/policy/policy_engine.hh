@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Per-System policy decision engine.
+ *
+ * One PolicyEngine per System turns the run's CachePolicy into
+ * allocate/bypass/rinse verdicts at the cache hierarchy's decision
+ * points. Every verdict is a non-virtual inline call whose static
+ * fast path is a single enum compare, so the six paper policies run
+ * bit-identically to the pre-engine flag checks (pinned by the
+ * golden-determinism suite) at zero added cost (pinned by the
+ * micro_substrate policy_decision_overhead scenario).
+ *
+ * The engine also owns the mutable state of the dynamic policies:
+ *
+ *  - adaptiveBypass: a fixed-point occupancy threshold; requests to a
+ *    set whose busy-way fraction crosses it convert to bypasses
+ *    before allocation can block (cf. adaptive bypass for ML kernels,
+ *    PAPERS.md).
+ *
+ *  - setDueling: a DIP-style PSEL saturating counter. Leader sets
+ *    behave as CacheR (stores bypass) or CacheRW (stores coalesce);
+ *    each bypassed store to a CacheR leader and each writeback from a
+ *    CacheRW leader is that constituency's DRAM-write cost and moves
+ *    PSEL; follower sets adopt the currently cheaper side. Per-set
+ *    cost samples are recorded in Tags (Tags::bumpDuelSample).
+ *
+ *  - dynamicRinse: a fixed-point running mean of the dirty-line
+ *    population of rows reaching eviction; only rows at least as
+ *    dirty as the mean (and above the policy's floor) are rinsed.
+ *
+ * All state is integer/fixed-point arithmetic seeded from the policy
+ * alone: runs are bit-identical for any MIGC_JOBS, and reset() is
+ * allocation-free like every other System component.
+ */
+
+#ifndef MIGC_POLICY_POLICY_ENGINE_HH
+#define MIGC_POLICY_POLICY_ENGINE_HH
+
+#include <cstdint>
+
+#include "policy/cache_policy.hh"
+#include "sim/stats.hh"
+
+namespace migc
+{
+
+/** Which level of the hierarchy a cache serves. */
+enum class CacheLevel : std::uint8_t
+{
+    l1,
+    l2,
+};
+
+/** A set's role in the store-policy duel. */
+enum class DuelRole : std::uint8_t
+{
+    follower, ///< follows PSEL
+    leaderR,  ///< always bypasses stores (CacheR constituency)
+    leaderRW, ///< always coalesces stores (CacheRW constituency)
+};
+
+class PolicyEngine
+{
+  public:
+    explicit PolicyEngine(const CachePolicy &policy);
+
+    /**
+     * Adopt a new policy and restart all dynamic state, performing
+     * zero heap allocations (System::reset()).
+     */
+    void reset(const CachePolicy &policy);
+
+    const CachePolicy &policy() const { return policy_; }
+
+    /** The static per-level view of the policy: what a cache at this
+     *  level is structurally capable of. This is the single source of
+     *  truth for the policy -> per-cache flag mapping (the L1 never
+     *  caches stores or rinses; prediction is an L2 mechanism). */
+    struct LevelFlags
+    {
+        bool cacheLoads;
+        bool cacheStores;
+        bool allocationBypass;
+        bool rinsing;
+        bool usePredictor;
+    };
+
+    LevelFlags
+    levelFlags(CacheLevel level) const
+    {
+        if (level == CacheLevel::l1) {
+            return LevelFlags{policy_.cacheLoadsL1, false,
+                              policy_.allocationBypass, false, false};
+        }
+        return LevelFlags{policy_.cacheLoadsL2, policy_.cacheStoresL2,
+                          policy_.allocationBypass,
+                          policy_.cacheRinsing, policy_.pcBypassL2};
+    }
+
+    // -----------------------------------------------------------------
+    // Set dueling
+    // -----------------------------------------------------------------
+
+    bool
+    duelingActive(CacheLevel level) const
+    {
+        return policy_.dynamic == DynPolicy::setDueling &&
+               level == CacheLevel::l2;
+    }
+
+    /** Constituency of set @p set in a cache of @p num_sets sets. */
+    DuelRole
+    duelRole(unsigned set, unsigned num_sets) const
+    {
+        unsigned period = policy_.duelLeaderPeriod < num_sets
+                              ? policy_.duelLeaderPeriod
+                              : num_sets;
+        unsigned r = set % period;
+        if (r == 0)
+            return DuelRole::leaderR;
+        if (r == period / 2)
+            return DuelRole::leaderRW;
+        return DuelRole::follower;
+    }
+
+    /** Should a store to a set with role @p role coalesce in the L2?
+     *  Leaders obey their constituency; followers follow PSEL (low
+     *  PSEL = bypassing has been the expensive side = cache). */
+    bool
+    cacheStore(DuelRole role) const
+    {
+        if (role == DuelRole::leaderRW)
+            return true;
+        if (role == DuelRole::leaderR)
+            return false;
+        return psel_ <= pselInit_;
+    }
+
+    /** A store bypassed the L2 in a CacheR leader set (one DRAM
+     *  write charged to the bypassing constituency). */
+    void
+    noteDuelBypassStore()
+    {
+        ++statDuelCostR_;
+        if (psel_ > 0)
+            --psel_;
+    }
+
+    /** A writeback left a CacheRW leader set (one DRAM write charged
+     *  to the coalescing constituency). */
+    void
+    noteDuelWriteback()
+    {
+        ++statDuelCostRW_;
+        if (psel_ < pselMax_)
+            ++psel_;
+    }
+
+    std::uint32_t psel() const { return psel_; }
+
+    // -----------------------------------------------------------------
+    // Adaptive allocation bypass
+    // -----------------------------------------------------------------
+
+    bool
+    occupancyBypassActive() const
+    {
+        return policy_.dynamic == DynPolicy::adaptiveBypass;
+    }
+
+    /** Convert this cached request to a bypass? True when the target
+     *  set's busy-way fraction has reached the policy threshold. */
+    bool
+    occupancyBypass(unsigned busy_ways, unsigned assoc)
+    {
+        // busy/assoc >= threshold, in Q8 fixed point.
+        if ((static_cast<std::uint32_t>(busy_ways) << 8) >=
+            occupancyLimitQ8_ * assoc) {
+            ++statOccupancyBypasses_;
+            return true;
+        }
+        return false;
+    }
+
+    // -----------------------------------------------------------------
+    // Dynamic rinsing
+    // -----------------------------------------------------------------
+
+    /**
+     * Rinse the whole DRAM row whose dirty population (including the
+     * line being evicted) is @p row_population? Static rinsing
+     * policies always say yes; the dynamic policy compares against a
+     * running mean and feeds the observation back into it.
+     */
+    bool
+    rinseRow(std::size_t row_population)
+    {
+        if (policy_.dynamic != DynPolicy::dynamicRinse)
+            return true;
+        const std::int64_t pop_q8 =
+            static_cast<std::int64_t>(row_population) << 8;
+        const std::int64_t avg = rinseAvgQ8_;
+        // EWMA with 1/8 gain; integer, so bit-identical everywhere.
+        rinseAvgQ8_ = avg + ((pop_q8 - avg) >> 3);
+        if (row_population >= policy_.dynRinseMinLines &&
+            pop_q8 >= avg) {
+            ++statRinseRinsed_;
+            return true;
+        }
+        ++statRinseDeferred_;
+        return false;
+    }
+
+    void regStats(StatGroup &group);
+
+    double occupancyBypasses() const
+    {
+        return statOccupancyBypasses_.value();
+    }
+    double rinseDeferred() const { return statRinseDeferred_.value(); }
+
+  private:
+    void applyPolicy(const CachePolicy &policy);
+
+    CachePolicy policy_;
+
+    /** adaptiveBypass: round(dynBypassOccupancy * 256). */
+    std::uint32_t occupancyLimitQ8_ = 256;
+
+    /** setDueling: PSEL counter, its ceiling, and its midpoint. */
+    std::uint32_t psel_ = 0;
+    std::uint32_t pselMax_ = 0;
+    std::uint32_t pselInit_ = 0;
+
+    /** dynamicRinse: running mean row population, Q8 fixed point. */
+    std::int64_t rinseAvgQ8_ = 0;
+
+    StatScalar statDuelCostR_;
+    StatScalar statDuelCostRW_;
+    StatScalar statOccupancyBypasses_;
+    StatScalar statRinseRinsed_;
+    StatScalar statRinseDeferred_;
+};
+
+} // namespace migc
+
+#endif // MIGC_POLICY_POLICY_ENGINE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * String-keyed registry of caching policies.
+ *
+ * Every run entry point (runner, sweep engine, figure binaries)
+ * addresses policies purely by name, and the RunCache keys results on
+ * those names - so any policy the registry can reconstruct from its
+ * name sweeps, caches, and replays like the paper's six presets with
+ * zero changes elsewhere.
+ *
+ * A spec is either a registered base name ("CacheRW-Duel") or a base
+ * name plus one parameter ("CacheRW-DynAB@0.5"); the entry's factory
+ * parses the parameter and the full spec becomes the policy's name,
+ * so parameterized variants land in their own cache namespaces.
+ *
+ * Downstream users register their own entries with add(); the
+ * built-in entries (six paper presets + three dynamic policies) are
+ * registered on first use.
+ */
+
+#ifndef MIGC_POLICY_POLICY_REGISTRY_HH
+#define MIGC_POLICY_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "policy/cache_policy.hh"
+
+namespace migc
+{
+
+class PolicyRegistry
+{
+  public:
+    struct Entry
+    {
+        /** Base name matched against the spec before any "@param". */
+        std::string name;
+
+        /** One-line description for --list / error output. */
+        std::string help;
+
+        /** Meaning of the optional "@param"; empty = none accepted. */
+        std::string paramHelp;
+
+        /**
+         * Build the policy. @p spec is the full requested name (it
+         * must become the policy's name); @p param is the text after
+         * "@", or empty. Fatal on a malformed parameter.
+         */
+        std::function<CachePolicy(const std::string &spec,
+                                  const std::string &param)>
+            factory;
+    };
+
+    /** The process-wide registry (built-ins registered on first use). */
+    static PolicyRegistry &instance();
+
+    /**
+     * Register an entry (replaces an existing entry of the same
+     * name). Not safe to call while a sweep is resolving policies on
+     * worker threads; register before submitting runs.
+     */
+    void add(Entry entry);
+
+    /** Build @p spec; fatal on unknown name, listing valid names. */
+    CachePolicy make(const std::string &spec) const;
+
+    /** Non-fatal variant: false when the base name is unknown. */
+    bool tryMake(const std::string &spec, CachePolicy &out) const;
+
+    bool known(const std::string &spec) const;
+
+    /** Registered base names, registration order. */
+    std::vector<std::string> names() const;
+
+    /** Human-readable listing of every entry (for --list output). */
+    std::string describe() const;
+
+  private:
+    PolicyRegistry();
+
+    const Entry *findEntry(const std::string &base) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace migc
+
+#endif // MIGC_POLICY_POLICY_REGISTRY_HH

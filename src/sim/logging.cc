@@ -104,4 +104,16 @@ setLogLevel(LogLevel lvl)
     logging_detail::currentLogLevel = static_cast<int>(lvl);
 }
 
+std::string
+joinStrings(const std::vector<std::string> &parts, const char *sep)
+{
+    std::string out;
+    for (const auto &p : parts) {
+        if (!out.empty())
+            out += sep;
+        out += p;
+    }
+    return out;
+}
+
 } // namespace migc

@@ -15,6 +15,7 @@
 
 #include <cstdarg>
 #include <string>
+#include <vector>
 
 namespace migc
 {
@@ -22,6 +23,10 @@ namespace migc
 /** Printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** Join @p parts with @p sep ("a, b, c") - error-message lists. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const char *sep = ", ");
 
 /**
  * Verbosity of non-error output. The level gates *argument

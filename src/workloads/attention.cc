@@ -1,0 +1,170 @@
+#include "workloads/attention.hh"
+
+namespace migc
+{
+
+using workload_detail::region;
+using workload_detail::roundTo;
+
+namespace
+{
+
+constexpr std::uint32_t wavesPerWg = 4;
+constexpr std::uint32_t rowsPerWave = 16;
+constexpr std::uint32_t headDim = 64;   ///< elements per row of Q/K/V
+constexpr std::uint64_t elemBytes = 4;
+/** One Q/K/V row: headDim fp32 elements = one 64-lane vector load. */
+constexpr std::uint64_t rowBytes = headDim * elemBytes;
+
+/** Sequence length at @p scale, in whole workgroups of rows. */
+std::uint32_t
+seqLen(double scale)
+{
+    return static_cast<std::uint32_t>(
+        roundTo(scale * 256.0,
+                static_cast<std::uint64_t>(wavesPerWg) * rowsPerWave));
+}
+
+/** Lane-chunks (64 x fp32 = 256 B) in one score row of @p seq. */
+std::uint32_t
+scoreChunks(std::uint32_t seq)
+{
+    return seq * elemBytes / 256;
+}
+
+} // namespace
+
+std::vector<KernelDesc>
+AttentionWorkload::buildKernels(double scale) const
+{
+    const std::uint32_t seq = seqLen(scale);
+    const std::uint32_t wgs = seq / (wavesPerWg * rowsPerWave);
+    const std::uint32_t chunks = scoreChunks(seq);
+    const Addr q_base = region(0);
+    const Addr k_base = region(1);
+    const Addr v_base = region(2);
+    const Addr s_base = region(3); ///< scores S = Q.K^T
+    const Addr p_base = region(4); ///< probabilities P = softmax(S)
+    const Addr o_base = region(5); ///< output O = P.V
+
+    // Phase 1: S = Q.K^T. Every wave owns rowsPerWave query rows and
+    // streams the whole K matrix in rowsPerWave-row tiles.
+    KernelDesc qkt;
+    qkt.name = "attnQKt";
+    qkt.wavesPerWorkgroup = wavesPerWg;
+    qkt.numWorkgroups = wgs;
+    qkt.endScope = SyncScope::device; // scores stay in the L2
+    qkt.pcBase = 0x30000;
+    qkt.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(qkt.pcBase);
+        std::uint64_t row0 =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) *
+            rowsPerWave;
+        // This wave's Q tile, staged once through the LDS.
+        for (std::uint32_t r = 0; r < rowsPerWave; ++r)
+            b.load(0, q_base + (row0 + r) * rowBytes);
+        b.waitLoads();
+        b.lds(2);
+        for (std::uint32_t kt = 0; kt < seq; kt += rowsPerWave) {
+            // Stream one K tile (shared by every workgroup).
+            for (std::uint32_t r = 0; r < rowsPerWave; ++r)
+                b.load(1, k_base + (kt + r) * rowBytes);
+            b.waitLoads();
+            b.lds(2);
+            // rowsPerWave x rowsPerWave dot products over headDim.
+            b.valu(rowsPerWave * rowsPerWave * headDim / 64, 4);
+        }
+        // Store this wave's score rows (seq fp32 each).
+        for (std::uint32_t r = 0; r < rowsPerWave; ++r) {
+            Addr srow = s_base + (row0 + r) * seq * elemBytes;
+            for (std::uint32_t c = 0; c < chunks; ++c)
+                b.store(2, srow + c * 256);
+        }
+        return b.take();
+    };
+
+    // Phase 2: P = softmax(S), three passes per score row; re-reads
+    // the rows phase 1 just stored (L2-dirty hits under CacheRW).
+    KernelDesc soft;
+    soft.name = "attnSoftmax";
+    soft.wavesPerWorkgroup = wavesPerWg;
+    soft.numWorkgroups = wgs;
+    soft.endScope = SyncScope::device; // probabilities stay in the L2
+    soft.pcBase = 0x31000;
+    soft.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(soft.pcBase);
+        std::uint64_t row0 =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) *
+            rowsPerWave;
+        for (std::uint32_t r = 0; r < rowsPerWave; ++r) {
+            Addr srow = s_base + (row0 + r) * seq * elemBytes;
+            Addr prow = p_base + (row0 + r) * seq * elemBytes;
+            // Pass 1: row max.
+            for (std::uint32_t c = 0; c < chunks; ++c)
+                b.load(0, srow + c * 256);
+            b.waitLoads();
+            b.valu(chunks);
+            // Pass 2: exp and sum (second read of the row).
+            for (std::uint32_t c = 0; c < chunks; ++c)
+                b.load(1, srow + c * 256);
+            b.waitLoads();
+            b.valu(3 * chunks);
+            // Pass 3: normalize and write out (third read).
+            for (std::uint32_t c = 0; c < chunks; ++c)
+                b.load(2, srow + c * 256);
+            b.waitLoads();
+            b.valu(2 * chunks);
+            for (std::uint32_t c = 0; c < chunks; ++c)
+                b.store(3, prow + c * 256);
+        }
+        return b.take();
+    };
+
+    // Phase 3: O = P.V. Streams V (shared across workgroups) against
+    // each wave's probability rows.
+    KernelDesc av;
+    av.name = "attnV";
+    av.wavesPerWorkgroup = wavesPerWg;
+    av.numWorkgroups = wgs;
+    av.endScope = SyncScope::system; // publish the head's output
+    av.pcBase = 0x32000;
+    av.makeProgram = [=](std::uint32_t wg, std::uint32_t wf) {
+        ProgramBuilder b(av.pcBase);
+        std::uint64_t row0 =
+            (static_cast<std::uint64_t>(wg) * wavesPerWg + wf) *
+            rowsPerWave;
+        for (std::uint32_t vt = 0; vt < seq; vt += rowsPerWave) {
+            // Stream one V tile (shared by every workgroup).
+            for (std::uint32_t r = 0; r < rowsPerWave; ++r)
+                b.load(0, v_base + (vt + r) * rowBytes);
+            // The probability columns weighting this tile: V rows
+            // [vt, vt+rowsPerWave) are weighted by P columns vt..,
+            // which live in the chunk at byte offset vt*elemBytes -
+            // so four consecutive tiles re-read the same chunk
+            // (tight producer-consumer locality).
+            std::uint64_t c256 = (vt * elemBytes / 256) * 256;
+            for (std::uint32_t r = 0; r < rowsPerWave; ++r) {
+                b.load(1, p_base + (row0 + r) * seq * elemBytes +
+                              c256);
+            }
+            b.waitLoads();
+            b.lds(2);
+            b.valu(rowsPerWave * rowsPerWave * headDim / 64, 4);
+        }
+        for (std::uint32_t r = 0; r < rowsPerWave; ++r)
+            b.store(2, o_base + (row0 + r) * rowBytes);
+        return b.take();
+    };
+
+    return {qkt, soft, av};
+}
+
+std::uint64_t
+AttentionWorkload::modelFootprint(double scale) const
+{
+    const std::uint64_t seq = seqLen(scale);
+    // Q, K, V, O (seq x headDim) plus S and P (seq x seq).
+    return 4 * seq * rowBytes + 2 * seq * seq * elemBytes;
+}
+
+} // namespace migc

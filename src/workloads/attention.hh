@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Transformer attention workload (model extension, not in the paper).
+ *
+ * Attention is the dominant memory pattern of modern MI inference and
+ * is absent from the paper's Table 2 suite. One attention head is
+ * modeled as the three kernels of scaled-dot-product attention:
+ *
+ *   1. attnQKt:     S = Q . K^T   - every wave streams the whole K
+ *                    matrix (massive cross-workgroup reuse only the
+ *                    L2 can capture) and stores a score tile.
+ *   2. attnSoftmax: P = softmax(S) - three passes over the freshly
+ *                    written score rows (max, exp+sum, normalize),
+ *                    so the coalesced stores of phase 1 are re-read
+ *                    while still L2-dirty under CacheRW.
+ *   3. attnV:       O = P . V     - streams V with cross-workgroup
+ *                    reuse and the probability rows once each.
+ *
+ * Kernels 1 and 2 end at device scope so the L2 carries the score /
+ * probability tensors between phases; kernel 3 publishes at system
+ * scope. The mix of streaming (K, V) and producer-consumer reuse
+ * (S, P) phases makes the workload sensitive to both read caching
+ * and store coalescing - the regime the dynamic policies target.
+ */
+
+#ifndef MIGC_WORKLOADS_ATTENTION_HH
+#define MIGC_WORKLOADS_ATTENTION_HH
+
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+class AttentionWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Attn"; }
+
+    Category category() const override
+    {
+        return Category::reuseSensitive;
+    }
+
+    WorkloadInfo
+    paperInfo() const override
+    {
+        // Not part of the paper's suite; the "paper" columns report
+        // the modeled configuration instead.
+        return {"seq 256, d_head 64 (extension)", 3, 3, "(extension)"};
+    }
+
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
+
+    std::uint64_t modelFootprint(double scale) const override;
+};
+
+} // namespace migc
+
+#endif // MIGC_WORKLOADS_ATTENTION_HH

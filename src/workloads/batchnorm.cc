@@ -26,7 +26,7 @@ numSlabs(double scale)
 } // namespace
 
 std::vector<KernelDesc>
-FwBnWorkload::kernels(double scale) const
+FwBnWorkload::buildKernels(double scale) const
 {
     std::uint32_t slabs = numSlabs(scale);
     Addr x_base = region(0);
@@ -81,13 +81,13 @@ FwBnWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwBnWorkload::footprintBytes(double scale) const
+FwBnWorkload::modelFootprint(double scale) const
 {
     return static_cast<std::uint64_t>(numSlabs(scale)) * slabBytes * 2;
 }
 
 std::vector<KernelDesc>
-BwBnWorkload::kernels(double scale) const
+BwBnWorkload::buildKernels(double scale) const
 {
     std::uint32_t slabs = numSlabs(scale);
     Addr x_base = region(0);
@@ -147,7 +147,7 @@ BwBnWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-BwBnWorkload::footprintBytes(double scale) const
+BwBnWorkload::modelFootprint(double scale) const
 {
     // x, dy, dx slabs plus the small parameter accumulators.
     std::uint64_t slabs = numSlabs(scale);

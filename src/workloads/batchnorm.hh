@@ -33,9 +33,10 @@ class FwBnWorkload : public Workload
         return {"Batch size 256", 1, 1, "42 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class BwBnWorkload : public Workload
@@ -51,9 +52,10 @@ class BwBnWorkload : public Workload
         return {"Batch size 512", 1, 1, "5.88 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -107,7 +107,7 @@ poolKernel(Addr pc_base, Addr in_base, Addr out_base,
 } // namespace
 
 std::vector<KernelDesc>
-ComposedModelWorkload::kernels(double scale) const
+ComposedModelWorkload::buildKernels(double scale) const
 {
     std::uint32_t layers = numLayers(scale);
 
@@ -146,7 +146,7 @@ ComposedModelWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-ComposedModelWorkload::footprintBytes(double scale) const
+ComposedModelWorkload::modelFootprint(double scale) const
 {
     std::uint32_t layers = numLayers(scale);
     // Two activation buffers plus per-layer weight tensors.

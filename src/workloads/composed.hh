@@ -31,9 +31,10 @@ class ComposedModelWorkload : public Workload
         return {"Batch size 64", 4, 130, "12.1 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -40,7 +40,7 @@ gridStrideChunk(std::uint64_t wf_index, std::uint64_t total_wfs,
 } // namespace
 
 std::vector<KernelDesc>
-FwActWorkload::kernels(double scale) const
+FwActWorkload::buildKernels(double scale) const
 {
     std::uint64_t chunks = fwChunks(scale);
     Addr x_base = region(0);
@@ -78,13 +78,13 @@ FwActWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwActWorkload::footprintBytes(double scale) const
+FwActWorkload::modelFootprint(double scale) const
 {
     return fwChunks(scale) * chunkBytes * 2; // x and y
 }
 
 std::vector<KernelDesc>
-BwActWorkload::kernels(double scale) const
+BwActWorkload::buildKernels(double scale) const
 {
     std::uint64_t chunks = fwChunks(scale);
     Addr dy_base = region(0);
@@ -125,7 +125,7 @@ BwActWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-BwActWorkload::footprintBytes(double scale) const
+BwActWorkload::modelFootprint(double scale) const
 {
     return fwChunks(scale) * chunkBytes * 3; // dy, y, dx
 }

@@ -35,9 +35,10 @@ class FwActWorkload : public Workload
         return {"Batch size 100", 1, 1, "1.6 GB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class BwActWorkload : public Workload
@@ -57,9 +58,10 @@ class BwActWorkload : public Workload
         return {"Batch size 100", 1, 1, "2.4 GB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -148,7 +148,7 @@ gemmFootprint(const GemmShape &s)
 } // namespace
 
 std::vector<KernelDesc>
-SgemmWorkload::kernels(double scale) const
+SgemmWorkload::buildKernels(double scale) const
 {
     GemmShape s = scaledShape(sgemmShape(), scale);
     return {makeGemmKernel("rocblasSgemm", 0x20000, region(0), region(1),
@@ -156,13 +156,13 @@ SgemmWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-SgemmWorkload::footprintBytes(double scale) const
+SgemmWorkload::modelFootprint(double scale) const
 {
     return gemmFootprint(scaledShape(sgemmShape(), scale));
 }
 
 std::vector<KernelDesc>
-DgemmWorkload::kernels(double scale) const
+DgemmWorkload::buildKernels(double scale) const
 {
     GemmShape s = scaledShape(dgemmShape(), scale);
     return {makeGemmKernel("rocblasDgemm", 0x21000, region(0), region(1),
@@ -170,13 +170,13 @@ DgemmWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-DgemmWorkload::footprintBytes(double scale) const
+DgemmWorkload::modelFootprint(double scale) const
 {
     return gemmFootprint(scaledShape(dgemmShape(), scale));
 }
 
 std::vector<KernelDesc>
-FwFcWorkload::kernels(double scale) const
+FwFcWorkload::buildKernels(double scale) const
 {
     GemmShape s = scaledShape(fwfcShape(), scale);
     return {makeGemmKernel("miopenFullyConnectedFwd", 0x22000, region(0),
@@ -184,7 +184,7 @@ FwFcWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwFcWorkload::footprintBytes(double scale) const
+FwFcWorkload::modelFootprint(double scale) const
 {
     return gemmFootprint(scaledShape(fwfcShape(), scale));
 }

@@ -56,9 +56,10 @@ class SgemmWorkload : public Workload
         return {"4Kx128x4K", 1, 1, "68 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class DgemmWorkload : public Workload
@@ -74,9 +75,10 @@ class DgemmWorkload : public Workload
         return {"4Kx128x4K", 1, 1, "132 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class FwFcWorkload : public Workload
@@ -92,9 +94,10 @@ class FwFcWorkload : public Workload
         return {"Batch size 512", 1, 1, "148.2 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -27,7 +27,7 @@ planes(double scale)
 } // namespace
 
 std::vector<KernelDesc>
-FwLrnWorkload::kernels(double scale) const
+FwLrnWorkload::buildKernels(double scale) const
 {
     std::uint64_t num_planes = planes(scale);
     std::uint64_t chunks_per_plane = planeBytes / chunkBytes;
@@ -80,7 +80,7 @@ FwLrnWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwLrnWorkload::footprintBytes(double scale) const
+FwLrnWorkload::modelFootprint(double scale) const
 {
     return planes(scale) * planeBytes * 2; // x and y
 }

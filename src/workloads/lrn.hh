@@ -37,9 +37,10 @@ class FwLrnWorkload : public Workload
         return {"Batch size 100", 1, 1, "2.4 GB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -28,7 +28,7 @@ inputRows(double scale)
 } // namespace
 
 std::vector<KernelDesc>
-FwPoolWorkload::kernels(double scale) const
+FwPoolWorkload::buildKernels(double scale) const
 {
     std::uint64_t rows = inputRows(scale);
     Addr x_base = region(0);
@@ -74,14 +74,14 @@ FwPoolWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwPoolWorkload::footprintBytes(double scale) const
+FwPoolWorkload::modelFootprint(double scale) const
 {
     std::uint64_t rows = inputRows(scale);
     return rows * rowBytes + rows * rowBytes / 4; // x plus y
 }
 
 std::vector<KernelDesc>
-BwPoolWorkload::kernels(double scale) const
+BwPoolWorkload::buildKernels(double scale) const
 {
     std::uint64_t rows = inputRows(scale); // dx rows
     Addr dy_base = region(0);
@@ -125,7 +125,7 @@ BwPoolWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-BwPoolWorkload::footprintBytes(double scale) const
+BwPoolWorkload::modelFootprint(double scale) const
 {
     std::uint64_t rows = inputRows(scale);
     return rows * rowBytes + rows * rowBytes / 4; // dx plus dy

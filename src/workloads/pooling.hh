@@ -36,9 +36,10 @@ class FwPoolWorkload : public Workload
         return {"Batch size 256", 1, 1, "480 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class BwPoolWorkload : public Workload
@@ -54,9 +55,10 @@ class BwPoolWorkload : public Workload
         return {"Batch size 256", 1, 1, "252 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

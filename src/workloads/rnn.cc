@@ -150,7 +150,7 @@ RnnWorkload::paperInfo() const
 }
 
 std::vector<KernelDesc>
-RnnWorkload::kernels(double scale) const
+RnnWorkload::buildKernels(double scale) const
 {
     std::uint32_t steps = seqLen(scale);
     std::uint32_t n_out = gates() * hidden;
@@ -189,7 +189,7 @@ RnnWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-RnnWorkload::footprintBytes(double scale) const
+RnnWorkload::modelFootprint(double scale) const
 {
     std::uint32_t steps = seqLen(scale);
     std::uint32_t n_out = gates() * hidden;

@@ -42,9 +42,10 @@ class RnnWorkload : public Workload
 
     WorkloadInfo paperInfo() const override;
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 
   private:
     std::uint32_t gates() const { return cell_ == RnnCell::lstm ? 4 : 3; }

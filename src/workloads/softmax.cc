@@ -61,7 +61,7 @@ softmaxProgram(Addr pc_base, Addr in_base, Addr extra_base,
 } // namespace
 
 std::vector<KernelDesc>
-FwSoftWorkload::kernels(double scale) const
+FwSoftWorkload::buildKernels(double scale) const
 {
     std::uint32_t wgs = numWgs(scale);
     Addr x_base = region(0);
@@ -81,14 +81,14 @@ FwSoftWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-FwSoftWorkload::footprintBytes(double scale) const
+FwSoftWorkload::modelFootprint(double scale) const
 {
     return static_cast<std::uint64_t>(numWgs(scale)) * wavesPerWg *
            sliceChunks * chunkBytes * 2;
 }
 
 std::vector<KernelDesc>
-BwSoftWorkload::kernels(double scale) const
+BwSoftWorkload::buildKernels(double scale) const
 {
     std::uint32_t wgs = numWgs(scale);
     Addr y_base = region(0);
@@ -109,7 +109,7 @@ BwSoftWorkload::kernels(double scale) const
 }
 
 std::uint64_t
-BwSoftWorkload::footprintBytes(double scale) const
+BwSoftWorkload::modelFootprint(double scale) const
 {
     return static_cast<std::uint64_t>(numWgs(scale)) * wavesPerWg *
            sliceChunks * chunkBytes * 3;

@@ -30,9 +30,10 @@ class FwSoftWorkload : public Workload
         return {"Batch size 512", 1, 1, "0.01 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 class BwSoftWorkload : public Workload
@@ -48,9 +49,10 @@ class BwSoftWorkload : public Workload
         return {"Batch size 512", 1, 1, "0.02 MB"};
     }
 
-    std::vector<KernelDesc> kernels(double scale) const override;
+  protected:
+    std::vector<KernelDesc> buildKernels(double scale) const override;
 
-    std::uint64_t footprintBytes(double scale) const override;
+    std::uint64_t modelFootprint(double scale) const override;
 };
 
 } // namespace migc

@@ -1,6 +1,10 @@
 #include "workloads/workload.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/logging.hh"
+#include "workloads/attention.hh"
 #include "workloads/batchnorm.hh"
 #include "workloads/composed.hh"
 #include "workloads/elementwise.hh"
@@ -27,55 +31,171 @@ categoryName(Category c)
     return "?";
 }
 
+// ---------------------------------------------------------------------
+// Workload (scale-validating non-virtual entry points)
+// ---------------------------------------------------------------------
+
+std::vector<KernelDesc>
+Workload::kernels(double scale) const
+{
+    workload_detail::checkScale(name().c_str(), scale);
+    return buildKernels(scale);
+}
+
+std::uint64_t
+Workload::footprintBytes(double scale) const
+{
+    workload_detail::checkScale(name().c_str(), scale);
+    return modelFootprint(scale);
+}
+
+// ---------------------------------------------------------------------
+// WorkloadRegistry
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+template <typename W, typename... Args>
+WorkloadRegistry::Entry
+builtin(const char *name, int rank, Args... args)
+{
+    return WorkloadRegistry::Entry{
+        name, [args...] { return std::make_unique<W>(args...); }, rank};
+}
+
+} // namespace
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    // The paper's 17 workloads; figure6Rank encodes the Figure 6
+    // ordering (insensitive, reuse sensitive, throughput sensitive)
+    // independently of registration order.
+    add(builtin<DgemmWorkload>("DGEMM", 0));
+    add(builtin<SgemmWorkload>("SGEMM", 1));
+    add(builtin<ComposedModelWorkload>("CM", 2));
+    add(builtin<FwBnWorkload>("FwBN", 3));
+    add(builtin<FwPoolWorkload>("FwPool", 4));
+    add(builtin<FwSoftWorkload>("FwSoft", 5));
+    add(builtin<BwSoftWorkload>("BwSoft", 6));
+    add(builtin<BwPoolWorkload>("BwPool", 7));
+    add(builtin<RnnWorkload>("FwGRU", 8, RnnCell::gru, false));
+    add(builtin<RnnWorkload>("FwLSTM", 9, RnnCell::lstm, false));
+    add(builtin<RnnWorkload>("FwBwGRU", 10, RnnCell::gru, true));
+    add(builtin<RnnWorkload>("FwBwLSTM", 11, RnnCell::lstm, true));
+    add(builtin<BwBnWorkload>("BwBN", 12));
+    add(builtin<FwFcWorkload>("FwFc", 13));
+    add(builtin<FwActWorkload>("FwAct", 14));
+    add(builtin<FwLrnWorkload>("FwLRN", 15));
+    add(builtin<BwActWorkload>("BwAct", 16));
+
+    // Model extensions beyond the paper's suite (rank -1).
+    add(builtin<AttentionWorkload>("Attn", -1));
+}
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(Entry entry)
+{
+    for (auto &e : entries_) {
+        if (e.name == entry.name) {
+            e = std::move(entry);
+            return;
+        }
+    }
+    entries_.push_back(std::move(entry));
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::make(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.factory();
+    }
+    fatal("unknown workload '%s' (valid: %s)", name.c_str(),
+          joinStrings(extendedOrder()).c_str());
+}
+
+bool
+WorkloadRegistry::known(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+WorkloadRegistry::paperOrder() const
+{
+    std::vector<const Entry *> paper;
+    for (const auto &e : entries_) {
+        if (e.figure6Rank >= 0)
+            paper.push_back(&e);
+    }
+    std::sort(paper.begin(), paper.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->figure6Rank < b->figure6Rank;
+              });
+    std::vector<std::string> names;
+    names.reserve(paper.size());
+    for (const Entry *e : paper)
+        names.push_back(e->name);
+    return names;
+}
+
+std::vector<std::string>
+WorkloadRegistry::extendedOrder() const
+{
+    std::vector<std::string> names = paperOrder();
+    for (const auto &e : entries_) {
+        if (e.figure6Rank < 0)
+            names.push_back(e.name);
+    }
+    return names;
+}
+
+std::string
+WorkloadRegistry::describe() const
+{
+    std::string out;
+    for (const auto &name : extendedOrder()) {
+        auto wl = make(name);
+        out += csprintf("  %-9s %-20s %s\n", name.c_str(),
+                        categoryName(wl->category()),
+                        wl->paperInfo().input.c_str());
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Registry-backed free functions
+// ---------------------------------------------------------------------
+
 std::vector<std::string>
 workloadOrder()
 {
-    // Figure 6 order: insensitive, reuse sensitive, throughput
-    // sensitive.
-    return {"DGEMM",    "SGEMM",  "CM",       "FwBN",     "FwPool",
-            "FwSoft",   "BwSoft", "BwPool",   "FwGRU",    "FwLSTM",
-            "FwBwGRU",  "FwBwLSTM", "BwBN",   "FwFc",     "FwAct",
-            "FwLRN",    "BwAct"};
+    return WorkloadRegistry::instance().paperOrder();
+}
+
+std::vector<std::string>
+extendedWorkloadOrder()
+{
+    return WorkloadRegistry::instance().extendedOrder();
 }
 
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
-    if (name == "FwAct")
-        return std::make_unique<FwActWorkload>();
-    if (name == "BwAct")
-        return std::make_unique<BwActWorkload>();
-    if (name == "FwLRN")
-        return std::make_unique<FwLrnWorkload>();
-    if (name == "FwBN")
-        return std::make_unique<FwBnWorkload>();
-    if (name == "BwBN")
-        return std::make_unique<BwBnWorkload>();
-    if (name == "FwPool")
-        return std::make_unique<FwPoolWorkload>();
-    if (name == "BwPool")
-        return std::make_unique<BwPoolWorkload>();
-    if (name == "FwSoft")
-        return std::make_unique<FwSoftWorkload>();
-    if (name == "BwSoft")
-        return std::make_unique<BwSoftWorkload>();
-    if (name == "SGEMM")
-        return std::make_unique<SgemmWorkload>();
-    if (name == "DGEMM")
-        return std::make_unique<DgemmWorkload>();
-    if (name == "FwFc")
-        return std::make_unique<FwFcWorkload>();
-    if (name == "FwLSTM")
-        return std::make_unique<RnnWorkload>(RnnCell::lstm, false);
-    if (name == "FwGRU")
-        return std::make_unique<RnnWorkload>(RnnCell::gru, false);
-    if (name == "FwBwLSTM")
-        return std::make_unique<RnnWorkload>(RnnCell::lstm, true);
-    if (name == "FwBwGRU")
-        return std::make_unique<RnnWorkload>(RnnCell::gru, true);
-    if (name == "CM")
-        return std::make_unique<ComposedModelWorkload>();
-    fatal("unknown workload '%s'", name.c_str());
+    return WorkloadRegistry::instance().make(name);
 }
 
 std::vector<std::unique_ptr<Workload>>
@@ -95,6 +215,15 @@ roundTo(double v, std::uint64_t m)
 {
     auto r = static_cast<std::uint64_t>(v / static_cast<double>(m)) * m;
     return r < m ? m : r;
+}
+
+void
+checkScale(const char *workload, double scale)
+{
+    fatal_if(!std::isfinite(scale) || scale <= 0.0,
+             "workload %s: footprint scale must be finite and > 0 "
+             "(got %g)",
+             workload, scale);
 }
 
 } // namespace workload_detail

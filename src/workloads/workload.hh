@@ -1,7 +1,7 @@
 /**
  * @file
- * The 17 MI workloads of Table 2, modeled as memory-access-pattern
- * generators.
+ * The MI workloads of Table 2 (plus model extensions), modeled as
+ * memory-access-pattern generators.
  *
  * The paper ran DNNMark / DeepBench / MIOpen-benchmark binaries on a
  * full ROCm stack inside gem5. We cannot execute GCN binaries, so
@@ -10,12 +10,19 @@
  * LDS usage, intra- and inter-kernel reuse distance, kernel count,
  * and synchronization scope - at a footprint scaled to the scaled
  * simulator configuration (see DESIGN.md, substitution table).
+ *
+ * Workloads are constructed by name through the WorkloadRegistry;
+ * workloadOrder() / extendedWorkloadOrder() derive from the same
+ * registry, so the order lists and the factory cannot drift apart.
+ * Downstream users register additional workloads with
+ * WorkloadRegistry::add() (see examples/custom_workload.cpp).
  */
 
 #ifndef MIGC_WORKLOADS_WORKLOAD_HH
 #define MIGC_WORKLOADS_WORKLOAD_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,20 +67,87 @@ class Workload
     /**
      * Build the kernel sequence at footprint scale @p scale
      * (1.0 = the scaled default documented in EXPERIMENTS.md).
+     * Validates @p scale once for every workload (fatal unless
+     * finite and > 0) and delegates to buildKernels().
      */
-    virtual std::vector<KernelDesc> kernels(double scale) const = 0;
+    std::vector<KernelDesc> kernels(double scale) const;
 
-    /** Modeled GPU footprint in bytes at @p scale. */
-    virtual std::uint64_t footprintBytes(double scale) const = 0;
+    /** Modeled GPU footprint in bytes at @p scale (validated like
+     *  kernels()). */
+    std::uint64_t footprintBytes(double scale) const;
+
+  protected:
+    /** Workload-specific kernel construction; @p scale is already
+     *  validated by the non-virtual kernels() wrapper. */
+    virtual std::vector<KernelDesc> buildKernels(double scale) const = 0;
+
+    /** Workload-specific footprint model; @p scale validated. */
+    virtual std::uint64_t modelFootprint(double scale) const = 0;
 };
 
-/** Workload names in the paper's Figure 6 order. */
+/**
+ * String-keyed registry of workloads: the single source of truth for
+ * which workloads exist and how the reporting paths order them.
+ */
+class WorkloadRegistry
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+
+        std::function<std::unique_ptr<Workload>()> factory;
+
+        /**
+         * Position in the paper's Figure 6 ordering, or -1 for a
+         * model extension beyond the paper's 17 (extensions report
+         * after the paper set, in registration order).
+         */
+        int figure6Rank = -1;
+    };
+
+    /** The process-wide registry (built-ins registered on first use). */
+    static WorkloadRegistry &instance();
+
+    /**
+     * Register an entry (replaces an existing entry of the same
+     * name). Register before submitting sweep runs; not safe while
+     * worker threads are resolving workloads.
+     */
+    void add(Entry entry);
+
+    /** Build @p name; fatal on unknown, listing the valid names. */
+    std::unique_ptr<Workload> make(const std::string &name) const;
+
+    bool known(const std::string &name) const;
+
+    /** The paper's workloads in Figure 6 order. */
+    std::vector<std::string> paperOrder() const;
+
+    /** Paper order plus the registered model extensions. */
+    std::vector<std::string> extendedOrder() const;
+
+    /** One line per entry, for --list output. */
+    std::string describe() const;
+
+  private:
+    WorkloadRegistry();
+
+    std::vector<Entry> entries_;
+};
+
+/** Workload names in the paper's Figure 6 order (registry-derived). */
 std::vector<std::string> workloadOrder();
 
-/** Instantiate a workload by name (fatal on unknown name). */
+/** Paper order plus model extensions such as Attn (registry-derived);
+ *  the 18-workload list the dynamic-policy sweeps run on. */
+std::vector<std::string> extendedWorkloadOrder();
+
+/** Instantiate a workload by name (fatal on unknown name, listing
+ *  the valid names). */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 
-/** Instantiate all 17 workloads in Figure 6 order. */
+/** Instantiate the paper's 17 workloads in Figure 6 order. */
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
 
 namespace workload_detail
@@ -88,6 +162,9 @@ region(unsigned i)
 
 /** Round @p v to a multiple of @p m, at least @p m. */
 std::uint64_t roundTo(double v, std::uint64_t m);
+
+/** Shared scale validation: fatal unless finite and > 0. */
+void checkScale(const char *workload, double scale);
 
 } // namespace workload_detail
 

@@ -183,6 +183,26 @@ TEST(HotPathAlloc, SystemResetKeepsAllocationsWarm)
     EXPECT_LT(warm_second, fresh);
 }
 
+TEST(HotPathAlloc, DynamicPolicyResetIsAllocationFree)
+{
+    // The dynamic policies (PR 4) add run-time state - the duel's
+    // PSEL, per-set sample counters in Tags, the rinse EWMA - and
+    // all of it must reset in place like every other component.
+    SimConfig cfg = SimConfig::testConfig();
+    const CachePolicy policy = CachePolicy::fromName("CacheRW-Duel");
+    const std::uint64_t seed = runSeedFor(cfg, "BwSoft", "CacheRW-Duel");
+
+    SimConfig run_cfg = cfg;
+    run_cfg.seed = seed;
+    System sys(run_cfg, policy);
+    auto wl = makeWorkload("BwSoft");
+    runWorkloadOn(sys, *wl); // warm every lazily-grown structure
+
+    CountingScope scope;
+    sys.reset(policy, seed);
+    EXPECT_EQ(scope.stop(), 0u);
+}
+
 TEST(HotPathAlloc, PooledPacketTrafficIsAllocationFree)
 {
     PacketPool pool;

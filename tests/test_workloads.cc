@@ -18,6 +18,19 @@ TEST(WorkloadRegistry, SeventeenWorkloadsInPaperOrder)
     EXPECT_EQ(unique.size(), 17u);
 }
 
+TEST(WorkloadRegistry, ScaleMustBePositiveAndFinite)
+{
+    auto wl = makeWorkload("FwSoft");
+    // Valid scales pass the shared check and reach the workload.
+    EXPECT_FALSE(wl->kernels(0.125).empty());
+    EXPECT_GT(wl->footprintBytes(0.125), 0u);
+    // Invalid scales die in the shared helper, for every workload.
+    EXPECT_DEATH((void)wl->kernels(0.0), "scale");
+    EXPECT_DEATH((void)wl->kernels(-1.0), "scale");
+    EXPECT_DEATH((void)makeWorkload("Attn")->footprintBytes(0.0),
+                 "scale");
+}
+
 TEST(WorkloadRegistry, CategoriesMatchThePaper)
 {
     EXPECT_EQ(makeWorkload("SGEMM")->category(),
@@ -144,8 +157,10 @@ TEST_P(WorkloadSweep, MemoryOpsHaveDistinctPcsPerSite)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(All17, WorkloadSweep,
-                         ::testing::ValuesIn(workloadOrder()));
+// The property sweep covers the paper's 17 plus every registered
+// extension (currently Attn).
+INSTANTIATE_TEST_SUITE_P(AllRegistered, WorkloadSweep,
+                         ::testing::ValuesIn(extendedWorkloadOrder()));
 
 TEST(RnnWorkloads, TrainingHasMoreKernelsThanInference)
 {
