@@ -1,0 +1,447 @@
+/**
+ * @file
+ * migc_sweep: the multi-process sharded sweep driver.
+ *
+ * One binary, four roles around one deterministic grid:
+ *
+ *  - single-process: run the grid through the SweepEngine, exactly
+ *    like a figure binary (`migc_sweep --grid dynamic`).
+ *  - coordinator: `--shards N` fork/execs N local workers (one per
+ *    shard index), waits for all of them, then merges their shard
+ *    cache files into the canonical cache - byte-identical to the
+ *    single-process file.
+ *  - worker: `--shards N --shard-index i` simulates only the grid
+ *    points shard i owns and writes them to `<cache>.shard<i>`.
+ *    External launchers (a cluster, a container fleet) run workers
+ *    directly; `--manifest` prints the exact command per shard plus
+ *    the join step.
+ *  - merge: `--shards N --merge` performs just the join - union the
+ *    shard files into the canonical cache, dedupe identical rows,
+ *    fail loudly on conflicting rows, delete the merged inputs.
+ *
+ * The grid is workloads x policies on one configuration; results
+ * land in the same RunCache namespaces the figure binaries read, so
+ * a sharded cold sweep followed by a merge makes every figure
+ * binary's run free. See docs/SWEEPS.md for the workflow.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "core/shard.hh"
+#include "core/sim_config.hh"
+#include "core/sweep_engine.hh"
+#include "policy/cache_policy.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace migc;
+
+struct Options
+{
+    std::string grid = "paper";     // paper | dynamic
+    std::string config = "default"; // default | paper | test
+    std::string cache;              // resolved in resolveCachePath()
+    std::vector<std::string> workloads; // override (empty = grid's)
+    std::vector<std::string> policies;  // override (empty = grid's)
+    unsigned shards = 0;   // 0 = unsharded
+    int shardIndex = -1;   // -1 = coordinator when shards > 0
+    unsigned jobs = 0;     // threads per process (0 = MIGC_JOBS)
+    bool manifest = false;
+    bool merge = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --grid paper|dynamic   17x6 paper grid (default) or the\n"
+        "                         18x9 dynamic-policy grid (fig14)\n"
+        "  --config default|paper|test\n"
+        "                         system preset (default: default)\n"
+        "  --workloads a,b,...    override the grid's workload list\n"
+        "  --policies x,y,...     override the grid's policy list\n"
+        "  --cache PATH           canonical cache file (default:\n"
+        "                         MIGC_SWEEP_CACHE or mi_sweep_cache.csv)\n"
+        "  --shards N             split the grid across N processes\n"
+        "  --shard-index I        run as worker I in [0, N) instead of\n"
+        "                         coordinating\n"
+        "  --manifest             print the per-shard worker commands\n"
+        "                         and the join step, then exit\n"
+        "  --merge                merge <cache>.shard* into <cache>\n"
+        "                         and exit\n"
+        "  --jobs J               worker threads per process\n"
+        "  --help                 this text\n"
+        "\nsee docs/SWEEPS.md for copy-paste sharding workflows\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+unsigned
+parseCount(const char *flag, const std::string &value, unsigned min,
+           unsigned max)
+{
+    return parseBoundedUnsigned(flag, value.c_str(), min, max);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int i) -> std::string {
+        fatal_if(i + 1 >= argc, "%s needs a value (--help for usage)",
+                 argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--grid") {
+            opt.grid = need(i++);
+            fatal_if(opt.grid != "paper" && opt.grid != "dynamic",
+                     "--grid %s: expected paper or dynamic",
+                     opt.grid.c_str());
+        } else if (arg == "--config") {
+            opt.config = need(i++);
+            fatal_if(opt.config != "default" && opt.config != "paper" &&
+                         opt.config != "test",
+                     "--config %s: expected default, paper, or test",
+                     opt.config.c_str());
+        } else if (arg == "--workloads") {
+            opt.workloads = splitList(need(i++));
+        } else if (arg == "--policies") {
+            opt.policies = splitList(need(i++));
+        } else if (arg == "--cache") {
+            opt.cache = need(i++);
+        } else if (arg == "--shards") {
+            opt.shards = parseCount("--shards", need(i++), 1, 4096);
+        } else if (arg == "--shard-index") {
+            opt.shardIndex = static_cast<int>(
+                parseCount("--shard-index", need(i++), 0, 4095));
+        } else if (arg == "--jobs") {
+            opt.jobs = parseCount("--jobs", need(i++), 1, 4096);
+        } else if (arg == "--manifest") {
+            opt.manifest = true;
+        } else if (arg == "--merge") {
+            opt.merge = true;
+        } else {
+            usage(argv[0]);
+            fatal("unknown option %s", arg.c_str());
+        }
+    }
+    fatal_if(opt.shardIndex >= 0 && opt.shards == 0,
+             "--shard-index needs --shards");
+    fatal_if(opt.shardIndex >= 0 &&
+                 static_cast<unsigned>(opt.shardIndex) >= opt.shards,
+             "--shard-index %d out of range for --shards %u",
+             opt.shardIndex, opt.shards);
+    return opt;
+}
+
+/** The canonical cache path: flag, else the figure binaries' env. */
+std::string
+resolveCachePath(const Options &opt)
+{
+    return opt.cache.empty() ? sweepCachePathFromEnv() : opt.cache;
+}
+
+SimConfig
+makeConfig(const Options &opt)
+{
+    if (opt.config == "paper")
+        return SimConfig::paperConfig();
+    if (opt.config == "test")
+        return SimConfig::testConfig();
+    return SimConfig::defaultConfig();
+}
+
+std::vector<RunRequest>
+buildGrid(const Options &opt, const SimConfig &cfg)
+{
+    std::vector<std::string> workloads = opt.workloads;
+    if (workloads.empty()) {
+        workloads = opt.grid == "dynamic" ? extendedWorkloadOrder()
+                                          : workloadOrder();
+    }
+    std::vector<std::string> policies = opt.policies;
+    if (policies.empty()) {
+        policies = ExperimentSweep::allPolicyNames();
+        if (opt.grid == "dynamic") {
+            for (const CachePolicy &p : CachePolicy::dynamicPolicies())
+                policies.push_back(p.name);
+        }
+    }
+    std::vector<RunRequest> requests;
+    requests.reserve(workloads.size() * policies.size());
+    for (const auto &w : workloads) {
+        for (const auto &p : policies)
+            requests.push_back(RunRequest{cfg, w, p});
+    }
+    return requests;
+}
+
+/** The worker command line for shard @p index of this invocation. */
+std::vector<std::string>
+workerArgs(const std::string &argv0, const Options &opt,
+           const std::string &cache, unsigned index)
+{
+    std::vector<std::string> args{argv0,
+                                  "--grid",
+                                  opt.grid,
+                                  "--config",
+                                  opt.config,
+                                  "--cache",
+                                  cache,
+                                  "--shards",
+                                  std::to_string(opt.shards),
+                                  "--shard-index",
+                                  std::to_string(index)};
+    if (!opt.workloads.empty()) {
+        args.push_back("--workloads");
+        args.push_back(joinStrings(opt.workloads, ","));
+    }
+    if (!opt.policies.empty()) {
+        args.push_back("--policies");
+        args.push_back(joinStrings(opt.policies, ","));
+    }
+    if (opt.jobs > 0) {
+        args.push_back("--jobs");
+        args.push_back(std::to_string(opt.jobs));
+    }
+    return args;
+}
+
+/** Quote one argument for copy-paste into a POSIX shell. */
+std::string
+shellQuote(const std::string &s)
+{
+    static const char *safe =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789._-+=/:,@%";
+    if (!s.empty() && s.find_first_not_of(safe) == std::string::npos)
+        return s;
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string
+shellJoin(const std::vector<std::string> &args)
+{
+    std::vector<std::string> quoted;
+    quoted.reserve(args.size());
+    for (const std::string &a : args)
+        quoted.push_back(shellQuote(a));
+    return joinStrings(quoted, " ");
+}
+
+void
+printMergeSummary(const std::string &cache, const ShardMergeStats &stats)
+{
+    std::printf("merged %zu shard cache%s into %s: +%zu rows, "
+                "%zu duplicates deduped, %zu parse errors\n",
+                stats.files, stats.files == 1 ? "" : "s", cache.c_str(),
+                stats.rows, stats.duplicates, stats.parseErrors);
+}
+
+/** This binary's path for re-exec; /proc/self/exe survives PATH
+ *  lookups and working-directory changes, argv[0] is the fallback. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+int
+runSweep(const Options &opt, const std::string &cache, ShardSpec shard)
+{
+    SimConfig cfg = makeConfig(opt);
+    std::vector<RunRequest> requests = buildGrid(opt, cfg);
+    SweepEngine engine(cache, shard);
+    engine.run(requests, opt.jobs);
+    engine.flush();
+    if (shard.active()) {
+        std::printf("shard %u/%u: %llu simulated, %llu from cache, "
+                    "%llu owned elsewhere (grid: %zu points)\n",
+                    shard.index, shard.shards,
+                    static_cast<unsigned long long>(
+                        engine.simulationsPerformed()),
+                    static_cast<unsigned long long>(engine.cacheHits()),
+                    static_cast<unsigned long long>(
+                        engine.shardSkipped()),
+                    requests.size());
+    } else {
+        std::printf("sweep done: %llu simulated, %llu from cache "
+                    "(grid: %zu points, %zu cache parse errors)\n",
+                    static_cast<unsigned long long>(
+                        engine.simulationsPerformed()),
+                    static_cast<unsigned long long>(engine.cacheHits()),
+                    requests.size(), engine.cacheParseErrors());
+    }
+    return 0;
+}
+
+int
+coordinate(const Options &opt, const std::string &cache,
+           const char *argv0)
+{
+    const std::string self = selfExePath(argv0);
+
+    // The workers all run on this machine: divide the thread budget
+    // between them instead of letting each one claim every core.
+    // sweepJobs() is the budget so MIGC_JOBS still caps the whole
+    // fleet; an explicit --jobs is passed through as given.
+    Options worker_opt = opt;
+    if (worker_opt.jobs == 0)
+        worker_opt.jobs = std::max(1u, sweepJobs() / opt.shards);
+
+    std::vector<pid_t> children;
+    children.reserve(opt.shards);
+    for (unsigned i = 0; i < opt.shards; ++i) {
+        std::vector<std::string> args =
+            workerArgs(self, worker_opt, cache, i);
+        pid_t pid = ::fork();
+        fatal_if(pid < 0, "fork failed for shard %u: %s", i,
+                 std::strerror(errno));
+        if (pid == 0) {
+            std::vector<char *> argvec;
+            argvec.reserve(args.size() + 1);
+            for (std::string &a : args)
+                argvec.push_back(a.data());
+            argvec.push_back(nullptr);
+            ::execv(self.c_str(), argvec.data());
+            std::fprintf(stderr, "exec %s failed: %s\n", self.c_str(),
+                         std::strerror(errno));
+            std::_Exit(127);
+        }
+        children.push_back(pid);
+    }
+
+    bool failed = false;
+    for (unsigned i = 0; i < children.size(); ++i) {
+        int status = 0;
+        if (::waitpid(children[i], &status, 0) < 0 ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            warn("shard %u worker (pid %d) failed (status %d)", i,
+                 static_cast<int>(children[i]), status);
+            failed = true;
+        }
+    }
+    fatal_if(failed, "one or more shard workers failed; shard caches "
+                     "left unmerged for inspection");
+
+    printMergeSummary(cache, mergeShardCaches(cache, opt.shards));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    // No --shards on the command line: honor the same environment
+    // hook every figure binary obeys, so `MIGC_SHARDS=4
+    // MIGC_SHARD_INDEX=0 migc_sweep` is a worker rather than a
+    // silent full-grid run duplicating the rest of the fleet
+    // (shardFromEnv is fatal on malformed or index-less specs).
+    // --merge and --manifest only need the shard *count*, so they
+    // accept MIGC_SHARDS without an index.
+    if (opt.shards == 0) {
+        const char *env_shards = std::getenv("MIGC_SHARDS");
+        if ((opt.merge || opt.manifest) && env_shards &&
+            env_shards[0] != '\0') {
+            opt.shards =
+                parseCount("MIGC_SHARDS", env_shards, 1, 4096);
+        } else {
+            ShardSpec env = shardFromEnv();
+            if (env.active()) {
+                opt.shards = env.shards;
+                opt.shardIndex = static_cast<int>(env.index);
+            }
+        }
+    }
+    fatal_if(opt.merge && opt.shards == 0, "--merge needs --shards");
+    fatal_if(opt.manifest && opt.shards == 0,
+             "--manifest needs --shards");
+
+    const std::string cache = resolveCachePath(opt);
+    fatal_if(cache.empty() && (opt.shards > 0),
+             "sharded sweeps need a cache file to merge "
+             "(unset MIGC_NO_CACHE or pass --cache)");
+
+    if (opt.merge) {
+        printMergeSummary(cache, mergeShardCaches(cache, opt.shards));
+        return 0;
+    }
+
+    if (opt.manifest) {
+        const std::string self = selfExePath(argv[0]);
+        std::printf("# one command per shard; run anywhere that "
+                    "shares (or later provides) the cache directory\n");
+        for (unsigned i = 0; i < opt.shards; ++i)
+            std::printf("%s\n",
+                        shellJoin(workerArgs(self, opt, cache, i))
+                            .c_str());
+        std::printf("# join step, once every worker has finished:\n"
+                    "%s\n",
+                    shellJoin({self, "--cache", cache, "--shards",
+                               std::to_string(opt.shards), "--merge"})
+                        .c_str());
+        return 0;
+    }
+
+    if (opt.shards > 0 && opt.shardIndex < 0)
+        return coordinate(opt, cache, argv[0]);
+
+    ShardSpec shard;
+    if (opt.shards > 0) {
+        shard.shards = opt.shards;
+        shard.index = static_cast<unsigned>(opt.shardIndex);
+    }
+    return runSweep(opt, cache, shard);
+}

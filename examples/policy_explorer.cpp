@@ -28,7 +28,10 @@ main(int argc, char **argv)
         std::cout << "registered cache policies:\n"
                   << PolicyRegistry::instance().describe()
                   << "\nregistered workloads:\n"
-                  << WorkloadRegistry::instance().describe();
+                  << WorkloadRegistry::instance().describe()
+                  << "\nsee docs/POLICIES.md for each policy's "
+                     "decision points,\nparameters, and the paper "
+                     "figure it appears in\n";
         return 0;
     }
 

@@ -328,7 +328,7 @@ table1Text(const SimConfig &cfg)
     s += csprintf("Approx. uncontested L1/L2/Memory latency "
                   "~50/~125/~225 GPU cycles\n");
     s += csprintf("Workload footprint scale %.3f "
-                  "(see EXPERIMENTS.md)\n",
+                  "(see docs/ARCHITECTURE.md, scaling note)\n",
                   cfg.workloadScale);
     return s;
 }

@@ -1,9 +1,14 @@
 #include "core/report.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+
+#include "core/shard.hh"
 
 #include "sim/logging.hh"
 
@@ -55,20 +60,51 @@ printFigure(std::ostream &os, const FigureData &fig, int precision)
 void
 writeFigureCsv(const std::string &path, const FigureData &fig)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warn("could not write figure CSV to %s", path.c_str());
-        return;
-    }
-    out << "workload";
-    for (const auto &s : fig.series)
-        out << "," << s;
-    out << "\n";
-    for (std::size_t w = 0; w < fig.workloads.size(); ++w) {
-        out << fig.workloads[w];
-        for (std::size_t s = 0; s < fig.series.size(); ++s)
-            out << "," << fig.values[s][w];
+    // A shard worker's figure is partial by design (grid points
+    // other shards own are placeholder zeros), so it lands next to
+    // the real figure as <path>.shard<i> instead of clobbering the
+    // complete CSV a normal run wrote in the same directory. The
+    // redirect keys off the environment hook because that is how
+    // every figure binary shards; a driver that shards through an
+    // explicit ShardSpec (and writes figures, which migc_sweep does
+    // not) must pick its own output path.
+    std::string target = path;
+    ShardSpec shard = shardFromEnv();
+    if (shard.active())
+        target = shardCachePath(path, shard.index);
+
+    // Write-then-rename, like the run cache: concurrent processes
+    // (e.g. two shard workers of the same figure binary in one
+    // directory) each land a complete file instead of interleaving
+    // into the same ofstream.
+    std::string tmp = csprintf("%s.%d.tmp", target.c_str(),
+                               static_cast<int>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("could not write figure CSV to %s", target.c_str());
+            return;
+        }
+        out << "workload";
+        for (const auto &s : fig.series)
+            out << "," << s;
         out << "\n";
+        for (std::size_t w = 0; w < fig.workloads.size(); ++w) {
+            out << fig.workloads[w];
+            for (std::size_t s = 0; s < fig.series.size(); ++s)
+                out << "," << fig.values[s][w];
+            out << "\n";
+        }
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            warn("could not write figure CSV to %s", target.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), target.c_str()) != 0) {
+        warn("could not move figure CSV into place at %s",
+             target.c_str());
+        std::remove(tmp.c_str());
     }
 }
 

@@ -1,0 +1,151 @@
+#include "core/shard.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "core/sweep_engine.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace migc
+{
+
+namespace
+{
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+} // namespace
+
+unsigned
+parseBoundedUnsigned(const char *label, const char *value,
+                     unsigned min_value, unsigned max_value)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(value, &end, 10);
+    fatal_if(end == value || *end != '\0' || v < min_value ||
+                 v > max_value,
+             "%s=%s: expected an integer in [%u, %u]", label, value,
+             min_value, max_value);
+    return static_cast<unsigned>(v);
+}
+
+std::uint64_t
+runKeyHash(const std::string &sig, const std::string &workload,
+           const std::string &policy)
+{
+    // '\n' cannot appear inside a key component (keys are one-line
+    // cache fields), so the concatenation is unambiguous.
+    std::string key;
+    key.reserve(sig.size() + workload.size() + policy.size() + 2);
+    key += sig;
+    key += '\n';
+    key += workload;
+    key += '\n';
+    key += policy;
+    return fnv1a(key);
+}
+
+unsigned
+shardOf(const std::string &sig, const std::string &workload,
+        const std::string &policy, unsigned shards)
+{
+    panic_if(shards == 0, "shardOf called with zero shards");
+    return static_cast<unsigned>(runKeyHash(sig, workload, policy) %
+                                 shards);
+}
+
+bool
+ShardSpec::owns(const std::string &sig, const std::string &workload,
+                const std::string &policy) const
+{
+    return !active() || shardOf(sig, workload, policy, shards) == index;
+}
+
+ShardSpec
+shardFromEnv()
+{
+    ShardSpec spec;
+    const char *shards = std::getenv("MIGC_SHARDS");
+    const char *index = std::getenv("MIGC_SHARD_INDEX");
+    if (shards == nullptr || shards[0] == '\0') {
+        fatal_if(index != nullptr && index[0] != '\0',
+                 "MIGC_SHARD_INDEX is set but MIGC_SHARDS is not");
+        return spec;
+    }
+    spec.shards = parseBoundedUnsigned("MIGC_SHARDS", shards, 1, 4096);
+    if (index == nullptr || index[0] == '\0') {
+        // A worker must know which slice is its own: running the
+        // whole grid because the index was forgotten would silently
+        // duplicate every other worker's simulations.
+        fatal_if(spec.active(),
+                 "MIGC_SHARDS=%u needs MIGC_SHARD_INDEX in [0, %u)",
+                 spec.shards, spec.shards);
+        return spec;
+    }
+    // Validate the index even for MIGC_SHARDS=1: an out-of-range
+    // index means the user meant a different fleet size, and
+    // running the full grid would be the silent-duplication failure
+    // this function exists to prevent.
+    spec.index = parseBoundedUnsigned("MIGC_SHARD_INDEX", index, 0,
+                                      spec.shards - 1);
+    return spec;
+}
+
+std::string
+shardCachePath(const std::string &base, unsigned index)
+{
+    return csprintf("%s.shard%u", base.c_str(), index);
+}
+
+ShardMergeStats
+mergeShardCaches(const std::string &base, unsigned shards)
+{
+    fatal_if(base.empty(),
+             "cannot merge shard caches without a cache path "
+             "(MIGC_NO_CACHE sweeps leave nothing to merge)");
+    fatal_if(shards < 1, "cannot merge zero shards");
+
+    // The canonical RunCache loads whatever the file already holds;
+    // each shard file then unions in. Conflicting rows abort before
+    // anything is rewritten or removed, so the inputs survive for
+    // inspection.
+    RunCache canonical(base);
+    ShardMergeStats stats;
+    std::vector<std::string> merged;
+    for (unsigned i = 0; i < shards; ++i) {
+        const std::string path = shardCachePath(base, i);
+        if (!fileExists(path))
+            continue;
+        RunCache::MergeStats r = canonical.mergeFile(path);
+        fatal_if(r.conflicts > 0,
+                 "shard cache %s: %zu row%s conflict with rows already "
+                 "merged for the same (config, workload, policy) - "
+                 "the shards did not run the same deterministic sweep; "
+                 "refusing to merge (inputs left on disk)",
+                 path.c_str(), r.conflicts, r.conflicts == 1 ? "" : "s");
+        stats.files += 1;
+        stats.rows += r.rows;
+        stats.duplicates += r.duplicates;
+        stats.parseErrors += r.parseErrors;
+        merged.push_back(path);
+    }
+    // The shard inputs are only consumed once the canonical file is
+    // safely on disk; a failed write (full disk, unwritable
+    // directory) must not cost the workers their results.
+    fatal_if(!canonical.saveNow(),
+             "could not write merged cache %s; shard inputs left on "
+             "disk",
+             base.c_str());
+    for (const std::string &path : merged)
+        std::remove(path.c_str());
+    return stats;
+}
+
+} // namespace migc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic multi-process sharding of sweep grids.
+ *
+ * A sweep grid is a set of run keys (config signature, workload,
+ * policy). A ShardSpec partitions that set across N cooperating
+ * processes by a stable hash of the key text: shard i owns exactly
+ * the keys whose hash lands on index i. The hash covers the run key
+ * and nothing else, so the partition depends only on the grid
+ * itself - it is independent of MIGC_JOBS, of submission order, and
+ * of which binary submits the request. Two different binaries
+ * sweeping overlapping grids under the same shard spec therefore
+ * agree on who simulates every shared point.
+ *
+ * Each worker writes its results to a private per-shard cache file
+ * (shardCachePath) using the same atomic tmp+rename discipline as
+ * the canonical cache; at join, mergeShardCaches() unions the shard
+ * files into the canonical file, deduplicating identical rows and
+ * failing loudly on conflicting rows for the same key (which would
+ * mean a nondeterministic simulator or mismatched sweeps - never
+ * something to paper over). Because RunCache serializes sections and
+ * rows in sorted order, the merged file is byte-identical to the one
+ * a single-process sweep would have written (pinned by
+ * tests/test_shard.cc and a CI spot-check).
+ *
+ * The sweep engine reads MIGC_SHARDS / MIGC_SHARD_INDEX in its
+ * default constructor (shardFromEnv), so every existing figure and
+ * ablation binary becomes a shard-capable worker with no per-binary
+ * changes. bench/migc_sweep is the coordinator: it fork/execs local
+ * workers (or emits a manifest for external launchers) and merges at
+ * join.
+ */
+
+#ifndef MIGC_CORE_SHARD_HH
+#define MIGC_CORE_SHARD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace migc
+{
+
+/** Which slice of a sweep grid this process simulates. */
+struct ShardSpec
+{
+    /** Total cooperating processes; 1 = sharding off. */
+    unsigned shards = 1;
+
+    /** This process's index in [0, shards). */
+    unsigned index = 0;
+
+    /** True when the grid is actually split (shards > 1). */
+    bool active() const { return shards > 1; }
+
+    /** Does this shard simulate the given run key? */
+    bool owns(const std::string &sig, const std::string &workload,
+              const std::string &policy) const;
+};
+
+/**
+ * Stable 64-bit hash of one run key. Depends only on the three key
+ * strings (FNV-1a over their concatenation), so it is identical
+ * across processes, architectures of the same width, and runs.
+ */
+std::uint64_t runKeyHash(const std::string &sig,
+                         const std::string &workload,
+                         const std::string &policy);
+
+/** The shard in [0, shards) owning the key; shards must be >= 1. */
+unsigned shardOf(const std::string &sig, const std::string &workload,
+                 const std::string &policy, unsigned shards);
+
+/**
+ * Shard spec from MIGC_SHARDS / MIGC_SHARD_INDEX. Unset (or
+ * MIGC_SHARDS=1) means no sharding. Fatal on malformed values,
+ * MIGC_SHARDS > 1 without an index, or an index out of range -
+ * silently running the full grid would defeat the point of the
+ * worker fleet.
+ */
+ShardSpec shardFromEnv();
+
+/** The private cache file for shard @p index of canonical @p base. */
+std::string shardCachePath(const std::string &base, unsigned index);
+
+/**
+ * Parse a decimal @p value in [@p min_value, @p max_value]; fatal
+ * (naming @p label) on anything else. The one bounded-unsigned
+ * parser behind MIGC_SHARDS / MIGC_SHARD_INDEX and migc_sweep's
+ * count flags, so validation cannot drift between them.
+ */
+unsigned parseBoundedUnsigned(const char *label, const char *value,
+                              unsigned min_value, unsigned max_value);
+
+/** What a coordinator merge accomplished. */
+struct ShardMergeStats
+{
+    /** Shard files found, merged, and removed. */
+    std::size_t files = 0;
+
+    /** Rows newly added to the canonical cache. */
+    std::size_t rows = 0;
+
+    /** Identical rows present in more than one input (deduplicated). */
+    std::size_t duplicates = 0;
+
+    /** Unparseable rows skipped across all inputs. */
+    std::size_t parseErrors = 0;
+};
+
+/**
+ * Coordinator join step: union every existing shard file of @p base
+ * (indices [0, shards)) into the canonical file at @p base, then
+ * delete the merged shard files. Identical rows for the same key
+ * deduplicate; conflicting rows are fatal, and the inputs are left
+ * on disk for inspection. Missing shard files are skipped (a shard
+ * whose slice was fully cached writes nothing new).
+ */
+ShardMergeStats mergeShardCaches(const std::string &base,
+                                 unsigned shards);
+
+} // namespace migc
+
+#endif // MIGC_CORE_SHARD_HH

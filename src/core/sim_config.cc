@@ -81,7 +81,7 @@ SimConfig::defaultConfig()
     c.xbar.numOutputs = c.l2Banks;
     c.dram.channels = 8;
     // Half-scale footprints keep a full 17x6 sweep to minutes while
-    // preserving every footprint:capacity ratio (EXPERIMENTS.md).
+    // preserving every footprint:capacity ratio (docs/ARCHITECTURE.md).
     c.workloadScale = 0.5;
     return c;
 }

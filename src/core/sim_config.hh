@@ -7,7 +7,7 @@
  * harness so a full 17-workload x 6-policy sweep runs in minutes;
  * footprints in src/workloads are sized against it, preserving the
  * footprint:capacity ratios that drive the paper's effects (see
- * EXPERIMENTS.md). testConfig() is a tiny fast preset for unit and
+ * docs/ARCHITECTURE.md, scaling note). testConfig() is a tiny fast preset for unit and
  * integration tests.
  */
 

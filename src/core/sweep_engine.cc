@@ -49,8 +49,10 @@ startsWith(const std::string &s, const char *prefix)
     return s.rfind(prefix, 0) == 0;
 }
 
+} // namespace
+
 std::string
-cachePathFromEnv()
+sweepCachePathFromEnv()
 {
     const char *no_cache = std::getenv("MIGC_NO_CACHE");
     if (no_cache && no_cache[0] == '1')
@@ -58,8 +60,6 @@ cachePathFromEnv()
     const char *path = std::getenv("MIGC_SWEEP_CACHE");
     return path ? path : "mi_sweep_cache.csv";
 }
-
-} // namespace
 
 // ---------------------------------------------------------------------
 // RunCache
@@ -79,17 +79,18 @@ RunCache::~RunCache()
     flush();
 }
 
-std::size_t
-RunCache::mergeFromDisk()
+RunCache::MergeStats
+RunCache::mergeFromFile(const std::string &path,
+                        bool classify_collisions)
 {
-    std::ifstream in(path_);
+    MergeStats stats;
+    std::ifstream in(path);
     if (!in)
-        return 0;
+        return stats;
     std::string line;
     if (!std::getline(in, line))
-        return 0;
+        return stats;
 
-    std::size_t ignored = 0;
     Section *section = nullptr;
     if (line == kCacheTagV3) {
         // Sections follow; rows before the first "# config" line
@@ -101,8 +102,8 @@ RunCache::mergeFromDisk()
             &sections_[line.substr(std::strlen(kCacheTagV2))];
     } else {
         warn("ignoring sweep cache %s: unrecognized format tag",
-             path_.c_str());
-        return 0;
+             path.c_str());
+        return stats;
     }
 
     while (std::getline(in, line)) {
@@ -117,38 +118,86 @@ RunCache::mergeFromDisk()
         RunMetrics m;
         if (section != nullptr && RunMetrics::fromCsv(line, m)) {
             Key key{m.workload, m.policy};
-            // emplace: rows already in memory win (for a key both
-            // sides hold, the values are identical by determinism).
-            section->emplace(std::move(key), std::move(m));
-        } else {
-            ++ignored;
+            // Rows already in memory win; for a key both sides hold,
+            // determinism says the values must be identical, so an
+            // actual difference is worth counting (and, for a
+            // coordinator merge, fatal - see mergeShardCaches). The
+            // collision cases are rare, so rows only re-serialize
+            // for comparison when the key already exists.
+            auto it = section->find(key);
+            if (it == section->end()) {
+                section->emplace(std::move(key), std::move(m));
+                ++stats.rows;
+            } else if (!classify_collisions) {
+                ++stats.duplicates;
+            } else if (it->second.toCsv() == m.toCsv()) {
+                ++stats.duplicates;
+            } else {
+                ++stats.conflicts;
+            }
+        } else if (badLines_.insert(path + '\n' + line).second) {
+            // Each damaged line counts once per source file: a later
+            // checkpoint save re-reading the same file dedupes, but
+            // the same damaged text in two different shard files is
+            // two lost rows.
+            ++stats.parseErrors;
+            ++parseErrors_;
         }
     }
-    return ignored;
+    return stats;
+}
+
+void
+RunCache::warnMergeProblems(const std::string &path,
+                            const MergeStats &stats)
+{
+    if (stats.parseErrors > 0) {
+        warn("sweep cache %s: ignored %zu unparseable row%s "
+             "(corrupted file or stale schema?)",
+             path.c_str(), stats.parseErrors,
+             stats.parseErrors == 1 ? "" : "s");
+    }
+    if (stats.conflicts > 0) {
+        warn("sweep cache %s: %zu row%s conflict with rows already "
+             "in memory for the same key (kept the in-memory rows)",
+             path.c_str(), stats.conflicts,
+             stats.conflicts == 1 ? "" : "s");
+    }
+}
+
+RunCache::MergeStats
+RunCache::mergeFile(const std::string &path)
+{
+    MergeStats stats = mergeFromFile(path);
+    warnMergeProblems(path, stats);
+    return stats;
 }
 
 void
 RunCache::load()
 {
-    std::size_t ignored = mergeFromDisk();
-    if (ignored > 0) {
-        warn("sweep cache %s: ignored %zu unparseable row%s "
-             "(stale schema?)",
-             path_.c_str(), ignored, ignored == 1 ? "" : "s");
-    }
+    mergeFile(path_);
 }
 
-void
+bool
 RunCache::save()
 {
     if (!enabled())
-        return;
+        return true;
     // Union the file's current state first so two binaries sweeping
     // different configs against one cache path preserve each other's
     // freshly finished sections instead of racing whole-file
     // snapshots (a write between our merge and rename can still
-    // lose, but the next writer's merge re-converges).
-    mergeFromDisk();
+    // lose, but the next writer's merge re-converges). Rows another
+    // writer corrupted in the meantime are about to be dropped by
+    // the rewrite, so they must be counted and warned about here -
+    // this is the last time they are visible anywhere. Collision
+    // classification is off: nearly every row in our own file
+    // collides with the copy already in memory, and in-memory wins
+    // regardless.
+    warnMergeProblems(path_,
+                      mergeFromFile(path_,
+                                    /*classify_collisions=*/false));
     // Write-then-rename keeps the cache whole even if a sweep is
     // interrupted mid-save or two binaries race on the same file;
     // the pid suffix keeps concurrent processes' tmp files private.
@@ -157,7 +206,7 @@ RunCache::save()
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
-            return;
+            return false;
         out << kCacheTagV3 << "\n";
         for (const auto &[sig, section] : sections_) {
             if (section.empty())
@@ -169,14 +218,16 @@ RunCache::save()
         }
         if (!out.good()) {
             std::remove(tmp.c_str());
-            return;
+            return false;
         }
     }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
         warn("could not move sweep cache into place at %s",
              path_.c_str());
         std::remove(tmp.c_str());
+        return false;
     }
+    return true;
 }
 
 const RunMetrics *
@@ -225,6 +276,14 @@ RunCache::flush()
     }
 }
 
+bool
+RunCache::saveNow()
+{
+    bool ok = save();
+    unsaved_ = 0;
+    return ok;
+}
+
 std::size_t
 RunCache::size() const
 {
@@ -238,13 +297,79 @@ RunCache::size() const
 // SweepEngine
 // ---------------------------------------------------------------------
 
-SweepEngine::SweepEngine() : SweepEngine(cachePathFromEnv()) {}
-
-SweepEngine::SweepEngine(std::string cache_path)
-    : cache_(std::move(cache_path))
+SweepEngine::SweepEngine()
+    : SweepEngine(sweepCachePathFromEnv(), shardFromEnv())
 {}
 
+SweepEngine::SweepEngine(std::string cache_path)
+    : SweepEngine(std::move(cache_path), ShardSpec{})
+{}
+
+SweepEngine::SweepEngine(std::string cache_path, ShardSpec shard)
+    : shard_(shard),
+      cache_(shard.active() && !cache_path.empty()
+                 ? shardCachePath(cache_path, shard.index)
+                 : cache_path)
+{
+    if (!shard_.active())
+        return;
+    if (cache_path.empty()) {
+        warn("sharding %u/%u with the cache disabled: this shard's "
+             "results stay in memory and cannot be merged",
+             shard_.index, shard_.shards);
+        return;
+    }
+    // Warm-start from the canonical cache into the read-only side
+    // store: points some earlier sweep already merged replay from
+    // it in every shard instead of being resimulated by their
+    // owner, while the writable shard file stays limited to this
+    // worker's own fresh rows.
+    warm_.mergeFile(cache_path);
+}
+
+const RunMetrics *
+SweepEngine::findCached(const std::string &sig,
+                        const std::string &workload,
+                        const std::string &policy) const
+{
+    if (const RunMetrics *m = cache_.find(sig, workload, policy))
+        return m;
+    return warm_.find(sig, workload, policy);
+}
+
+double
+SweepEngine::estimateFor(const std::string &workload,
+                         const std::string &policy) const
+{
+    return std::max(cache_.estimateEvents(workload, policy),
+                    warm_.estimateEvents(workload, policy));
+}
+
 SweepEngine::~SweepEngine() = default;
+
+const RunMetrics &
+SweepEngine::placeholderFor(const std::string &sig,
+                            const std::string &workload,
+                            const std::string &policy)
+{
+    auto key = std::make_tuple(sig, workload, policy);
+    auto it = placeholders_.find(key);
+    if (it == placeholders_.end()) {
+        RunMetrics m;
+        m.workload = workload;
+        m.policy = policy;
+        it = placeholders_.emplace(std::move(key), std::move(m)).first;
+        skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+}
+
+std::size_t
+SweepEngine::cacheParseErrors() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache_.parseErrors() + warm_.parseErrors();
+}
 
 const RunMetrics &
 SweepEngine::get(const SimConfig &cfg, const std::string &workload,
@@ -253,9 +378,16 @@ SweepEngine::get(const SimConfig &cfg, const std::string &workload,
     const std::string sig = cfg.signature();
     {
         std::lock_guard<std::mutex> lk(mu_);
-        if (const RunMetrics *m = cache_.find(sig, workload, policy)) {
+        if (const RunMetrics *m = findCached(sig, workload, policy)) {
             hits_.fetch_add(1, std::memory_order_relaxed);
             return *m;
+        }
+        if (!shard_.owns(sig, workload, policy)) {
+            debug_log("shard %u/%u: %s/%s belongs to another shard; "
+                      "returning a zero placeholder row",
+                      shard_.index, shard_.shards, workload.c_str(),
+                      policy.c_str());
+            return placeholderFor(sig, workload, policy);
         }
     }
 
@@ -265,7 +397,7 @@ SweepEngine::get(const SimConfig &cfg, const std::string &workload,
     RunMetrics m = runNamedWorkload(workload, cfg, policy);
 
     std::lock_guard<std::mutex> lk(mu_);
-    if (const RunMetrics *prior = cache_.find(sig, workload, policy)) {
+    if (const RunMetrics *prior = findCached(sig, workload, policy)) {
         // Lost a race with another thread simulating the same point;
         // both computed identical metrics, keep the first.
         return *prior;
@@ -307,10 +439,13 @@ std::vector<RunMetrics>
 SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
 {
     // Phase 1: split the batch into cached points and missing jobs,
-    // deduplicating repeated grid points.
+    // deduplicating repeated grid points. Under an active shard
+    // spec, missing points owned by other shards are skipped here
+    // and answered with placeholder rows in phase 2.
     std::vector<std::string> sigs;
     sigs.reserve(requests.size());
     std::vector<Job> missing;
+    std::size_t foreign = 0;
     {
         std::lock_guard<std::mutex> lk(mu_);
         std::map<std::tuple<std::string, std::string, std::string>,
@@ -319,7 +454,7 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
         for (std::size_t i = 0; i < requests.size(); ++i) {
             const RunRequest &req = requests[i];
             sigs.push_back(req.cfg.signature());
-            if (cache_.find(sigs[i], req.workload, req.policy)) {
+            if (findCached(sigs[i], req.workload, req.policy)) {
                 hits_.fetch_add(1, std::memory_order_relaxed);
                 continue;
             }
@@ -327,11 +462,22 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
                                        req.policy);
             if (!seen.emplace(std::move(key), true).second)
                 continue;
+            if (!shard_.owns(sigs[i], req.workload, req.policy)) {
+                ++foreign;
+                continue;
+            }
             missing.push_back(Job{&req, sigs[i],
-                                  cache_.estimateEvents(req.workload,
-                                                        req.policy),
+                                  estimateFor(req.workload,
+                                              req.policy),
                                   i});
         }
+    }
+    if (foreign > 0) {
+        inform("shard %u/%u: %zu missing grid point%s belong%s to "
+               "other shards (skipped; merge the shard caches for a "
+               "complete sweep)",
+               shard_.index, shard_.shards, foreign,
+               foreign == 1 ? "" : "s", foreign == 1 ? "s" : "");
     }
 
     if (!missing.empty()) {
@@ -408,15 +554,32 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
             std::rethrow_exception(error);
 
         flush();
+
+        // The batch summary: what the sweep actually cost, and - so
+        // a truncated cache cannot pass for a cold one - how many
+        // cache rows were lost to parse errors.
+        std::lock_guard<std::mutex> lk(mu_);
+        const std::size_t lost = cache_.parseErrors() +
+                                 warm_.parseErrors();
+        inform("sweep batch done: %zu simulated, %zu cache parse "
+               "error%s",
+               missing.size(), lost, lost == 1 ? "" : "s");
     }
 
-    // Phase 2: every request is now cached; answer in request order.
+    // Phase 2: every owned request is now cached; answer in request
+    // order (placeholders for points other shards own).
     std::vector<RunMetrics> results;
     results.reserve(requests.size());
     std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        const RunMetrics *m = cache_.find(sigs[i], requests[i].workload,
-                                          requests[i].policy);
+        const RunMetrics *m = findCached(sigs[i], requests[i].workload,
+                                         requests[i].policy);
+        if (m == nullptr &&
+            !shard_.owns(sigs[i], requests[i].workload,
+                         requests[i].policy)) {
+            m = &placeholderFor(sigs[i], requests[i].workload,
+                                requests[i].policy);
+        }
         panic_if(m == nullptr, "sweep engine lost a result for %s/%s",
                  requests[i].workload.c_str(),
                  requests[i].policy.c_str());

@@ -26,6 +26,13 @@
  *    config is structurally equal, so PacketPool chunks, the event
  *    heap, tag/DBI storage, and DRAM bank state stay warm instead of
  *    being reconstructed per run.
+ *
+ * A fourth mechanism scales past one process: under an active
+ * ShardSpec (MIGC_SHARDS / MIGC_SHARD_INDEX, see shard.hh) the
+ * engine simulates only the grid points whose stable key hash lands
+ * on its shard, writing them to a private per-shard cache file; a
+ * coordinator (bench/migc_sweep) merges the shard files into the
+ * canonical cache at join, byte-identical to a single-process sweep.
  */
 
 #ifndef MIGC_CORE_SWEEP_ENGINE_HH
@@ -36,17 +43,29 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/metrics.hh"
+#include "core/shard.hh"
 #include "core/sim_config.hh"
 
 namespace migc
 {
 
 class System;
+
+/**
+ * The canonical cache path a default-constructed engine uses:
+ * empty when MIGC_NO_CACHE=1, else MIGC_SWEEP_CACHE, else
+ * "mi_sweep_cache.csv". The single source of truth for tools (like
+ * bench/migc_sweep) that must agree with the figure binaries on
+ * where the cache lives.
+ */
+std::string sweepCachePathFromEnv();
 
 /** One grid point: run @p workload under @p policy on @p cfg. */
 struct RunRequest
@@ -95,6 +114,52 @@ class RunCache
 
     bool enabled() const { return !path_.empty(); }
 
+    /** What one mergeFile() call found in its input. */
+    struct MergeStats
+    {
+        /** Rows merged in under keys not previously held. */
+        std::size_t rows = 0;
+
+        /** Rows identical to one already held (deduplicated). */
+        std::size_t duplicates = 0;
+
+        /** Rows differing from the held row for the same key. The
+         *  held row wins; the caller decides how loud to be. */
+        std::size_t conflicts = 0;
+
+        /** Unparseable rows this cache had not seen before (bad
+         *  lines are remembered, so re-reading the same damaged
+         *  file - e.g. at a checkpoint save - counts each loss
+         *  once). */
+        std::size_t parseErrors = 0;
+    };
+
+    /**
+     * Union another cache file (v3 or legacy v2) into memory without
+     * writing anything; rows already held win. This is how a shard
+     * worker warm-starts from the canonical cache and how the
+     * coordinator folds shard files back in (shard.hh). A missing
+     * file merges zero rows.
+     */
+    MergeStats mergeFile(const std::string &path);
+
+    /**
+     * Distinct unparseable rows seen across the initial load, every
+     * explicit mergeFile(), and the pre-write merge of each save -
+     * corrupted or stale-schema cache lines whose results were
+     * lost. Surfaced in the sweep summary line so a truncated cache
+     * cannot silently masquerade as a cold one.
+     */
+    std::size_t parseErrors() const { return parseErrors_; }
+
+    /**
+     * Write the file now even if nothing is pending (merge join).
+     * @return false when the file could not be written or moved
+     * into place (callers that consume other files on the strength
+     * of this write - the coordinator merge - must check).
+     */
+    bool saveNow();
+
     /** Result for (sig, workload, policy), or nullptr. Stable. */
     const RunMetrics *find(const std::string &sig,
                            const std::string &workload,
@@ -130,19 +195,38 @@ class RunCache
     void load();
 
     /**
-     * Merge the file's current contents into memory (rows already
-     * held in memory win), then atomically rewrite it. The merge
-     * step is what lets concurrently running binaries share one
-     * cache path: each writer unions the other's finished sections
-     * instead of clobbering them with its own load-time snapshot.
-     * @return rows that failed to parse (0 for a missing file).
+     * Union @p path into memory; rows already held in memory win.
+     * Shared by load(), mergeFile(), and save()'s pre-write merge -
+     * the latter is what lets concurrently running binaries share
+     * one cache path: each writer unions the other's finished
+     * sections instead of clobbering them with its own load-time
+     * snapshot. @p classify_collisions distinguishes duplicates
+     * from conflicts by re-serializing both rows; save()'s
+     * self-merge turns it off because there nearly every row
+     * collides (with this process's own prior checkpoint) and the
+     * classification would dominate checkpoint cost.
      */
-    std::size_t mergeFromDisk();
-    void save();
+    MergeStats mergeFromFile(const std::string &path,
+                             bool classify_collisions = true);
+
+    /** Shared warning text for merge problems found in @p path. */
+    static void warnMergeProblems(const std::string &path,
+                                  const MergeStats &stats);
+
+    /** @return true when the file reached disk (or I/O is off). */
+    bool save();
 
     std::string path_;
     std::size_t checkpointInterval_;
     std::size_t unsaved_ = 0;
+    std::size_t parseErrors_ = 0;
+
+    /** (source path, line) pairs already counted as parse errors:
+     *  re-reading the same damaged file dedupes, while the same
+     *  damaged text in two different shard files still counts as
+     *  two lost rows. */
+    std::set<std::string> badLines_;
+
     std::map<std::string, Section> sections_;
 };
 
@@ -154,11 +238,32 @@ class RunCache
 class SweepEngine
 {
   public:
-    /** Cache path from the environment, like the figure binaries. */
+    /**
+     * Cache path and shard spec from the environment, like the
+     * figure binaries: MIGC_SWEEP_CACHE / MIGC_NO_CACHE select the
+     * cache, MIGC_SHARDS / MIGC_SHARD_INDEX turn the process into
+     * one worker of a multi-process sweep (see shard.hh). This is
+     * what makes every existing binary shard-capable with no
+     * per-binary changes.
+     */
     SweepEngine();
 
-    /** Explicit cache path; empty disables the on-disk cache. */
+    /** Explicit cache path (empty disables the on-disk cache); no
+     *  sharding. Tests and library users get hermetic behavior. */
     explicit SweepEngine(std::string cache_path);
+
+    /**
+     * Explicit cache path and shard spec. When the spec is active,
+     * this engine simulates only the grid points its shard owns:
+     * fresh results go to the private shard cache file
+     * (shardCachePath(cache_path, index)), the canonical file is
+     * warm-imported into a read-only side store (served, never
+     * rewritten, so shard files stay small), and requests for
+     * points outside the shard that are not already cached come
+     * back as all-zero placeholder rows (merge the shard caches and
+     * re-run to materialize them).
+     */
+    SweepEngine(std::string cache_path, ShardSpec shard);
 
     ~SweepEngine();
 
@@ -191,6 +296,15 @@ class SweepEngine
     /** Requests answered from the cache without simulating. */
     std::uint64_t cacheHits() const { return hits_.load(); }
 
+    /** Missing grid points skipped because another shard owns them. */
+    std::uint64_t shardSkipped() const { return skipped_.load(); }
+
+    /** Unparseable cache rows seen by the underlying RunCache. */
+    std::size_t cacheParseErrors() const;
+
+    /** The shard spec this engine runs under. */
+    const ShardSpec &shard() const { return shard_; }
+
   private:
     struct Job
     {
@@ -207,10 +321,46 @@ class SweepEngine
     RunMetrics runJob(const Job &job, std::unique_ptr<System> &sys,
                       std::string &sys_structure);
 
+    /**
+     * All-zero stand-in row for a point owned by another shard
+     * (names filled in, every metric 0). Stable reference; never
+     * written to the cache file. Caller holds mu_.
+     */
+    const RunMetrics &placeholderFor(const std::string &sig,
+                                     const std::string &workload,
+                                     const std::string &policy);
+
+    /** Lookup across the writable cache and the warm side store
+     *  (writable rows win). Caller holds mu_. */
+    const RunMetrics *findCached(const std::string &sig,
+                                 const std::string &workload,
+                                 const std::string &policy) const;
+
+    /** Scheduler cost estimate across both stores. Caller holds
+     *  mu_. */
+    double estimateFor(const std::string &workload,
+                       const std::string &policy) const;
+
     mutable std::mutex mu_;
+    ShardSpec shard_;
     RunCache cache_;
+
+    /**
+     * Read-only results imported from the canonical cache when this
+     * engine is a shard worker (memory-only: constructed with an
+     * empty path, so it never writes). Keeping these out of cache_
+     * keeps the shard file down to this worker's own fresh rows
+     * instead of a full copy of the canonical cache.
+     */
+    RunCache warm_{std::string()};
     std::atomic<std::uint64_t> sims_{0};
     std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> skipped_{0};
+
+    /** Placeholder rows handed out for other shards' points. */
+    std::map<std::tuple<std::string, std::string, std::string>,
+             RunMetrics>
+        placeholders_;
 };
 
 } // namespace migc

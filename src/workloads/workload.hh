@@ -66,7 +66,7 @@ class Workload
 
     /**
      * Build the kernel sequence at footprint scale @p scale
-     * (1.0 = the scaled default documented in EXPERIMENTS.md).
+     * (1.0 = the scaled default, docs/ARCHITECTURE.md scaling note).
      * Validates @p scale once for every workload (fatal unless
      * finite and > 0) and delegates to buildKernels().
      */

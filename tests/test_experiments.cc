@@ -331,6 +331,70 @@ TEST(SweepEngine, WarmCacheReplayPerformsZeroSimulations)
     std::remove(path.c_str());
 }
 
+TEST(SweepEngine, CorruptedCacheRowsAreCountedAsParseErrors)
+{
+    const std::string path = tempCachePath("parse_errors");
+    std::remove(path.c_str());
+
+    // A cache file with one good row and two corrupted lines (a
+    // truncated write, a stale schema, a stray editor). The good row
+    // must still be served, and the losses must be counted - a
+    // truncated cache should not be able to pass for a cold one.
+    SimConfig cfg = SimConfig::testConfig();
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << kCacheTagV3 << "\n";
+        out << kSectionTag << cfg.signature() << "\n";
+        out << RunMetrics::csvHeader() << "\n";
+        out << fakeMetrics("FwSoft", "CacheRW", 424242).toCsv() << "\n";
+        out << "this line is not a metrics row\n";
+        out << "FwBN,CacheR,not-a-number\n";
+    }
+
+    SweepEngine engine(path);
+    EXPECT_EQ(engine.cacheParseErrors(), 2u);
+    EXPECT_EQ(engine.get(cfg, "FwSoft", "CacheRW").execTicks,
+              Tick(424242));
+    EXPECT_EQ(engine.simulationsPerformed(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, ParseErrorsCountEachDamagedLineOnce)
+{
+    const std::string corrupt = tempCachePath("corrupt_input");
+    const std::string path = tempCachePath("parse_dedupe");
+    std::remove(corrupt.c_str());
+    std::remove(path.c_str());
+    {
+        std::ofstream out(corrupt, std::ios::trunc);
+        out << kCacheTagV3 << "\n";
+        out << kSectionTag << "some-config\n";
+        out << "broken row\n";
+    }
+
+    RunCache cache(path);
+    // Re-merging the same damaged file must not inflate the count.
+    cache.mergeFile(corrupt);
+    cache.mergeFile(corrupt);
+    EXPECT_EQ(cache.parseErrors(), 1u);
+
+    // A row corrupted (by a concurrent writer) after this cache
+    // loaded is seen - and counted - by the pre-write merge of
+    // save(), the last moment it is visible before the rewrite
+    // drops it.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << kCacheTagV3 << "\n";
+        out << kSectionTag << "other-config\n";
+        out << "another broken row\n";
+    }
+    cache.insert("fresh-config", fakeMetrics("FwSoft", "CacheR", 7));
+    cache.saveNow();
+    EXPECT_EQ(cache.parseErrors(), 2u);
+    std::remove(corrupt.c_str());
+    std::remove(path.c_str());
+}
+
 TEST(SweepEngine, DuplicateRequestsSimulateOnce)
 {
     SweepEngine engine(""); // in-memory only

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fail on broken relative links in the repository's markdown docs.
+#
+# Scans README.md and docs/*.md for inline markdown links/images
+# `[text](target)` whose target is a relative path (external URLs
+# and pure in-page #anchors are skipped), strips any #fragment, and
+# checks that the target exists relative to the linking file. CI
+# runs this as the docs-check step; run it locally from the repo
+# root before touching the docs.
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+
+for file in README.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # One inline link target per line. Fenced code blocks are
+    # stripped first (a C++ lambda like "[](const T &x)" is not a
+    # link). Markdown permits titles after the path
+    # ("](a.md \"title\")"); everything from the first whitespace on
+    # is dropped with the ')'.
+    targets=$(awk '/^[[:space:]]*```/ { inblock = !inblock; next } !inblock' "$file" \
+        | grep -oE '\]\([^)]+\)' | sed -e 's/^](//' -e 's/)$//' -e 's/[[:space:]].*//')
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $file -> $target" >&2
+            status=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "docs-check: $checked relative links OK"
+else
+    echo "docs-check: broken relative links found" >&2
+fi
+exit $status
