@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/report.hh"
 #include "core/sim_config.hh"
 #include "core/sweep_engine.hh"
 
@@ -46,6 +47,8 @@ main()
         grid.push_back(RunRequest{cfg, "BwAct", "CacheR"});
     }
     std::vector<RunMetrics> results = engine.run(grid);
+    warnPlaceholderRows(countPlaceholderRows(results),
+                        "L1 geometry ablation");
 
     for (std::size_t i = 0; i < assocs.size(); ++i) {
         const RunMetrics &m = results[i];

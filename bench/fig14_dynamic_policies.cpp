@@ -47,6 +47,7 @@ main()
 
     SweepEngine engine;
     std::vector<RunMetrics> results = engine.run(requests);
+    warnPlaceholderRows(countPlaceholderRows(results), "Figure 14");
 
     FigureData fig;
     fig.title = "Figure 14: dynamic policies vs the paper's six "

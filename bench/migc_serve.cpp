@@ -1,0 +1,182 @@
+/**
+ * @file
+ * migc_serve: long-running warm-cache query service.
+ *
+ * Loads every section of the sweep cache into an immutable in-memory
+ * snapshot and answers newline-delimited queries (exact `get` and
+ * glob `match`, see docs/SERVE.md and src/serve/serve_protocol.hh)
+ * without simulating anything that is already cached. Cold points
+ * enqueue a simulate-on-miss job; when it finishes, a new snapshot
+ * is published and the next query is a warm hit.
+ *
+ * Two front ends over the same ServeService:
+ *
+ *  - stdin (default): requests on stdin, responses on stdout, one
+ *    client. EOF drains pending misses, flushes the cache, exits.
+ *    `migc_serve <<< 'match default * *'` is a complete session.
+ *
+ *  - --socket PATH: AF_UNIX stream socket, one thread per
+ *    connection, any number of concurrent clients. Runs until
+ *    killed.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_engine.hh"
+#include "serve/serve_service.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace migc;
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: %s [--cache PATH] [--socket PATH] [--no-simulate]\n"
+        "\n"
+        "Serve sweep-cache results over a line protocol (docs/"
+        "SERVE.md).\n"
+        "\n"
+        "  --cache PATH    sweep cache file to serve (default: "
+        "MIGC_SWEEP_CACHE\n"
+        "                  or mi_sweep_cache.csv)\n"
+        "  --socket PATH   listen on an AF_UNIX socket instead of "
+        "stdin/stdout\n"
+        "  --no-simulate   answer cold points with '# miss' instead "
+        "of simulating\n",
+        argv0);
+    return code;
+}
+
+/** One connection: read request lines, write responses. */
+void
+serveStream(ServeService &service, int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string reply =
+                service.handleLine(buf.substr(0, nl));
+            buf.erase(0, nl + 1);
+            std::size_t off = 0;
+            while (off < reply.size()) {
+                ssize_t w = ::write(fd, reply.data() + off,
+                                    reply.size() - off);
+                if (w <= 0)
+                    return;
+                off += static_cast<std::size_t>(w);
+            }
+        }
+    }
+}
+
+int
+serveSocket(ServeService &service, const std::string &path)
+{
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listener < 0, "socket(AF_UNIX): %s",
+             std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatal_if(path.size() >= sizeof(addr.sun_path),
+             "socket path too long (%zu bytes, max %zu): %s",
+             path.size(), sizeof(addr.sun_path) - 1, path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale socket from a previous run
+    fatal_if(::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind(%s): %s", path.c_str(), std::strerror(errno));
+    fatal_if(::listen(listener, 16) != 0, "listen(%s): %s",
+             path.c_str(), std::strerror(errno));
+    inform("serving on %s (one thread per connection; kill to stop)",
+           path.c_str());
+    for (;;) {
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::thread([&service, fd] {
+            serveStream(service, fd);
+            ::close(fd);
+        }).detach();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cache = sweepCachePathFromEnv();
+    std::string socket_path;
+    ServeService::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(argv[0], 0);
+        if (arg == "--no-simulate") {
+            opts.simulate = false;
+        } else if (arg == "--cache" && i + 1 < argc) {
+            cache = argv[++i];
+        } else if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    // stdout is the protocol stream; keep status chatter (cache
+    // load, per-simulation informs) off it in both modes.
+    setInformStream(stderr);
+
+    // A shard worker answers foreign grid points with all-zero
+    // placeholder rows; a query service must never be in a position
+    // to produce one. Serve the merged canonical cache instead.
+    fatal_if(shardFromEnv().active(),
+             "migc_serve cannot run under MIGC_SHARDS: serve the "
+             "merged canonical cache, not one shard's slice");
+
+    SweepEngine engine(cache);
+    ServeService service(engine, opts);
+    inform("loaded %zu row%s from %s",
+           engine.snapshot()->rows(),
+           engine.snapshot()->rows() == 1 ? "" : "s",
+           cache.empty() ? "(cache disabled)" : cache.c_str());
+
+    if (!socket_path.empty())
+        return serveSocket(service, socket_path);
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        std::string reply = service.handleLine(line);
+        if (!reply.empty()) {
+            std::fwrite(reply.data(), 1, reply.size(), stdout);
+            std::fflush(stdout);
+        }
+    }
+    // EOF: let enqueued misses finish and persist their rows.
+    service.drain();
+    engine.flush();
+    return 0;
+}

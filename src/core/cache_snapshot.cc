@@ -1,0 +1,150 @@
+#include "core/cache_snapshot.hh"
+
+namespace migc
+{
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative two-pointer matcher with single-star backtracking:
+    // on mismatch, retry from the most recent '*' consuming one more
+    // character. O(|pattern| * |text|) worst case, no allocation.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+CacheSnapshot::CacheSnapshot(
+    SectionMap sections, std::size_t rows,
+    std::vector<std::shared_ptr<const void>> keep_alive)
+    : sections_(std::move(sections)), rows_(rows),
+      keepAlive_(std::move(keep_alive))
+{}
+
+std::shared_ptr<const CacheSnapshot>
+CacheSnapshot::empty()
+{
+    static const std::shared_ptr<const CacheSnapshot> instance(
+        new CacheSnapshot({}, 0, {}));
+    return instance;
+}
+
+const RunMetrics *
+CacheSnapshot::find(const std::string &sig, const std::string &workload,
+                    const std::string &policy) const
+{
+    auto sit = sections_.find(sig);
+    if (sit == sections_.end())
+        return nullptr;
+    auto rit = sit->second.find(Key{workload, policy});
+    return rit == sit->second.end() ? nullptr : rit->second;
+}
+
+std::vector<const RunMetrics *>
+CacheSnapshot::match(const std::string &sig_pattern,
+                     const std::string &workload_pattern,
+                     const std::string &policy_pattern) const
+{
+    std::vector<const RunMetrics *> out;
+    for (const auto &[sig, section] : sections_) {
+        if (!globMatch(sig_pattern, sig))
+            continue;
+        for (const auto &[key, row] : section) {
+            if (globMatch(workload_pattern, key.first) &&
+                globMatch(policy_pattern, key.second)) {
+                out.push_back(row);
+            }
+        }
+    }
+    return out;
+}
+
+double
+CacheSnapshot::estimateEvents(const std::string &workload,
+                              const std::string &policy) const
+{
+    double best = 0.0;
+    for (const auto &[sig, section] : sections_) {
+        auto it = section.find(Key{workload, policy});
+        if (it != section.end() && it->second->simEvents > best)
+            best = it->second->simEvents;
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+bool
+CacheSnapshot::Builder::add(const std::string &sig,
+                            const RunMetrics *row)
+{
+    if (row == nullptr || row->placeholder)
+        return false;
+    auto [it, fresh] = sections_[sig].emplace(
+        Key{row->workload, row->policy}, row);
+    (void)it;
+    if (fresh)
+        ++rows_;
+    return fresh;
+}
+
+void
+CacheSnapshot::Builder::retain(std::shared_ptr<const void> owner)
+{
+    if (owner)
+        keepAlive_.push_back(std::move(owner));
+}
+
+void
+CacheSnapshot::Builder::addAll(
+    const std::shared_ptr<const CacheSnapshot> &snap)
+{
+    if (!snap)
+        return;
+    for (const auto &[sig, section] : snap->sections()) {
+        for (const auto &[key, row] : section)
+            add(sig, row);
+    }
+    retain(snap);
+}
+
+std::shared_ptr<const CacheSnapshot>
+CacheSnapshot::Builder::build()
+{
+    // Drop sections that ended up empty (a section key learned from
+    // a "# config" line with no parseable rows) so serialization and
+    // match() never see hollow sections.
+    for (auto it = sections_.begin(); it != sections_.end();) {
+        if (it->second.empty())
+            it = sections_.erase(it);
+        else
+            ++it;
+    }
+    auto snap = std::shared_ptr<const CacheSnapshot>(new CacheSnapshot(
+        std::move(sections_), rows_, std::move(keepAlive_)));
+    sections_ = {};
+    rows_ = 0;
+    keepAlive_ = {};
+    return snap;
+}
+
+} // namespace migc

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * An immutable, indexed view of run-cache contents, shared between
+ * threads by shared_ptr swap.
+ *
+ * The serving story (bench/migc_serve, docs/SERVE.md) needs many
+ * concurrent readers answering cache queries while a writer folds in
+ * freshly simulated rows. The classic split: results live in an
+ * append-only row store (rows are written once, then never move -
+ * the "append log"), and a CacheSnapshot is an immutable index of
+ * `const RunMetrics *` over some prefix of that log. Publishing new
+ * results builds a *new* snapshot (cheap: the index holds pointers,
+ * not rows) and swaps one shared_ptr; readers keep using whatever
+ * snapshot they loaded, lock-free, for as long as they hold it.
+ *
+ * Ownership: a snapshot retains (via keep-alive shared_ptrs) every
+ * row store its pointers reach into, so a query result stays valid
+ * for the lifetime of the snapshot that produced it - even after
+ * the owning RunCache is gone.
+ *
+ * Thread-safety: a built CacheSnapshot is deeply immutable; any
+ * number of threads may query one concurrently with no locking. The
+ * Builder is single-threaded.
+ */
+
+#ifndef MIGC_CORE_CACHE_SNAPSHOT_HH
+#define MIGC_CORE_CACHE_SNAPSHOT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hh"
+
+namespace migc
+{
+
+/**
+ * Glob match with '*' (any run, including empty) and '?' (exactly
+ * one character); everything else matches literally. The pattern
+ * language of migc_serve's `match` queries.
+ */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+class CacheSnapshot
+{
+  public:
+    /** (workload, policy) - the row key inside one config section. */
+    using Key = std::pair<std::string, std::string>;
+
+    /** One config section: sorted rows, pointers into a row store. */
+    using Section = std::map<Key, const RunMetrics *>;
+
+    /** Sections keyed by config signature, sorted. */
+    using SectionMap = std::map<std::string, Section>;
+
+    /** The shared empty snapshot. */
+    static std::shared_ptr<const CacheSnapshot> empty();
+
+    /** Row for (sig, workload, policy), or nullptr. */
+    const RunMetrics *find(const std::string &sig,
+                           const std::string &workload,
+                           const std::string &policy) const;
+
+    /**
+     * All rows whose (signature, workload, policy) match the three
+     * glob patterns, in canonical order (sorted by signature, then
+     * workload, then policy - the cache-file serialization order, so
+     * pattern answers are byte-stable across runs).
+     */
+    std::vector<const RunMetrics *>
+    match(const std::string &sig_pattern,
+          const std::string &workload_pattern,
+          const std::string &policy_pattern) const;
+
+    /** Total rows across all sections. */
+    std::size_t rows() const { return rows_; }
+
+    const SectionMap &sections() const { return sections_; }
+
+    /** Largest simEvents recorded for (workload, policy) under any
+     *  signature; 0 when unseen (scheduler cost estimate). */
+    double estimateEvents(const std::string &workload,
+                          const std::string &policy) const;
+
+    /** Single-threaded assembler for a new snapshot. */
+    class Builder
+    {
+      public:
+        /**
+         * Index @p row under (@p sig, row->workload, row->policy).
+         * First add wins: returns false (and changes nothing) when
+         * the key is already present. Placeholder rows are refused
+         * (returns false): a snapshot is a serving surface, and an
+         * all-zero stand-in must never be served as a result.
+         * The caller guarantees @p row outlives the built snapshot
+         * or registers its owner via retain().
+         */
+        bool add(const std::string &sig, const RunMetrics *row);
+
+        /** Keep @p owner alive as long as the built snapshot. */
+        void retain(std::shared_ptr<const void> owner);
+
+        /** add() every row of @p snap (existing keys win) and retain
+         *  it, so merged snapshots keep their row stores alive. */
+        void addAll(const std::shared_ptr<const CacheSnapshot> &snap);
+
+        /** Finish; the builder is empty afterwards. */
+        std::shared_ptr<const CacheSnapshot> build();
+
+      private:
+        SectionMap sections_;
+        std::size_t rows_ = 0;
+        std::vector<std::shared_ptr<const void>> keepAlive_;
+    };
+
+  private:
+    CacheSnapshot(SectionMap sections, std::size_t rows,
+                  std::vector<std::shared_ptr<const void>> keep_alive);
+
+    SectionMap sections_;
+    std::size_t rows_;
+    std::vector<std::shared_ptr<const void>> keepAlive_;
+};
+
+} // namespace migc
+
+#endif // MIGC_CORE_CACHE_SNAPSHOT_HH

@@ -88,6 +88,21 @@ ExperimentSweep::staticWorst(const std::string &workload)
 namespace
 {
 
+/**
+ * Fetch one grid point for a figure, counting shard placeholder
+ * rows so the renderers can warn (report.hh). Every figure-builder
+ * lookup goes through here.
+ */
+const RunMetrics &
+figRow(ExperimentSweep &sweep, FigureData &fig, const std::string &w,
+       const std::string &p)
+{
+    const RunMetrics &m = sweep.get(w, p);
+    if (m.placeholder)
+        ++fig.placeholderRows;
+    return m;
+}
+
 /** Common scaffolding: one series per policy, rows in paper order. */
 FigureData
 policyFigure(ExperimentSweep &sweep, const std::string &title,
@@ -104,10 +119,10 @@ policyFigure(ExperimentSweep &sweep, const std::string &title,
     for (const auto &p : policies) {
         std::vector<double> row;
         for (const auto &w : fig.workloads) {
-            double v = extract(sweep.get(w, p));
+            double v = extract(figRow(sweep, fig, w, p));
             if (normalize_to_policy) {
-                double base =
-                    extract(sweep.get(w, normalize_to_policy));
+                double base = extract(
+                    figRow(sweep, fig, w, normalize_to_policy));
                 v = base > 0 ? v / base : 0.0;
             }
             row.push_back(v);
@@ -176,13 +191,14 @@ optFigure(ExperimentSweep &sweep, const std::string &title,
         std::vector<double> row;
         for (const auto &w : fig.workloads) {
             std::string policy = resolveSeries(sweep, series, w);
-            double v = extract(sweep.get(w, policy));
+            double v = extract(figRow(sweep, fig, w, policy));
             if (norm_to_best) {
-                double base =
-                    extract(sweep.get(w, sweep.staticBest(w)));
+                double base = extract(
+                    figRow(sweep, fig, w, sweep.staticBest(w)));
                 v = base > 0 ? v / base : 0.0;
             } else if (norm_to_uncached) {
-                double base = extract(sweep.get(w, "Uncached"));
+                double base =
+                    extract(figRow(sweep, fig, w, "Uncached"));
                 v = base > 0 ? v / base : 0.0;
             }
             row.push_back(v);
@@ -204,7 +220,7 @@ figure4(ExperimentSweep &sweep)
     fig.series = {"CacheR"};
     std::vector<double> row;
     for (const auto &w : fig.workloads)
-        row.push_back(sweep.get(w, "CacheR").gvops);
+        row.push_back(figRow(sweep, fig, w, "CacheR").gvops);
     fig.values.push_back(std::move(row));
     return fig;
 }
@@ -219,7 +235,7 @@ figure5(ExperimentSweep &sweep)
     fig.series = {"CacheR"};
     std::vector<double> row;
     for (const auto &w : fig.workloads)
-        row.push_back(sweep.get(w, "CacheR").gmrps);
+        row.push_back(figRow(sweep, fig, w, "CacheR").gmrps);
     fig.values.push_back(std::move(row));
     return fig;
 }

@@ -25,8 +25,30 @@ FigureData::at(std::size_t series_idx, std::size_t workload_idx) const
 }
 
 void
+warnPlaceholderRows(std::size_t count, const std::string &what)
+{
+    if (count == 0)
+        return;
+    warn("%s: %zu value%s come%s from all-zero shard placeholder "
+         "rows, not measurements - merge the shard caches "
+         "(migc_sweep) and re-run for a complete figure",
+         what.c_str(), count, count == 1 ? "" : "s",
+         count == 1 ? "s" : "");
+}
+
+std::size_t
+countPlaceholderRows(const std::vector<RunMetrics> &rows)
+{
+    std::size_t n = 0;
+    for (const RunMetrics &m : rows)
+        n += m.placeholder ? 1 : 0;
+    return n;
+}
+
+void
 printFigure(std::ostream &os, const FigureData &fig, int precision)
 {
+    warnPlaceholderRows(fig.placeholderRows, fig.title);
     os << "== " << fig.title << " ==\n";
     if (!fig.valueLabel.empty())
         os << "   (" << fig.valueLabel << ")\n";
@@ -68,6 +90,7 @@ writeFigureCsv(const std::string &path, const FigureData &fig)
     // every figure binary shards; a driver that shards through an
     // explicit ShardSpec (and writes figures, which migc_sweep does
     // not) must pick its own output path.
+    warnPlaceholderRows(fig.placeholderRows, path);
     std::string target = path;
     ShardSpec shard = shardFromEnv();
     if (shard.active())

@@ -23,19 +23,6 @@ fileExists(const std::string &path)
 
 } // namespace
 
-unsigned
-parseBoundedUnsigned(const char *label, const char *value,
-                     unsigned min_value, unsigned max_value)
-{
-    char *end = nullptr;
-    unsigned long v = std::strtoul(value, &end, 10);
-    fatal_if(end == value || *end != '\0' || v < min_value ||
-                 v > max_value,
-             "%s=%s: expected an integer in [%u, %u]", label, value,
-             min_value, max_value);
-    return static_cast<unsigned>(v);
-}
-
 std::uint64_t
 runKeyHash(const std::string &sig, const std::string &workload,
            const std::string &policy)

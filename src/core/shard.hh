@@ -37,6 +37,13 @@
 #include <cstdint>
 #include <string>
 
+// parseBoundedUnsigned - the shared validator behind MIGC_SHARDS /
+// MIGC_SHARD_INDEX / MIGC_JOBS and migc_sweep's count flags - lives
+// in sim/env.hh so the sim-layer thread pool can use it too; it is
+// re-exported here because every sharding caller historically reached
+// it through this header.
+#include "sim/env.hh"
+
 namespace migc
 {
 
@@ -81,15 +88,6 @@ ShardSpec shardFromEnv();
 
 /** The private cache file for shard @p index of canonical @p base. */
 std::string shardCachePath(const std::string &base, unsigned index);
-
-/**
- * Parse a decimal @p value in [@p min_value, @p max_value]; fatal
- * (naming @p label) on anything else. The one bounded-unsigned
- * parser behind MIGC_SHARDS / MIGC_SHARD_INDEX and migc_sweep's
- * count flags, so validation cannot drift between them.
- */
-unsigned parseBoundedUnsigned(const char *label, const char *value,
-                              unsigned min_value, unsigned max_value);
 
 /** What a coordinator merge accomplished. */
 struct ShardMergeStats

@@ -14,6 +14,7 @@
 #include "core/runner.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "sim/names.hh"
 #include "sim/parallel.hh"
 #include "workloads/workload.hh"
 
@@ -68,7 +69,9 @@ sweepCachePathFromEnv()
 RunCache::RunCache(std::string path, std::size_t checkpoint_interval)
     : path_(std::move(path)),
       checkpointInterval_(checkpoint_interval > 0 ? checkpoint_interval
-                                                  : 1)
+                                                  : 1),
+      log_(std::make_shared<std::deque<RunMetrics>>()),
+      base_(CacheSnapshot::empty())
 {
     if (enabled())
         load();
@@ -91,15 +94,16 @@ RunCache::mergeFromFile(const std::string &path,
     if (!std::getline(in, line))
         return stats;
 
-    Section *section = nullptr;
+    std::string sig;
+    bool in_section = false;
     if (line == kCacheTagV3) {
         // Sections follow; rows before the first "# config" line
         // (there should be none) are ignored.
     } else if (startsWith(line, kCacheTagV2)) {
         // Whole legacy file becomes one preserved-but-unserved
         // section under its old-format signature (see kCacheTagV2).
-        section =
-            &sections_[line.substr(std::strlen(kCacheTagV2))];
+        sig = line.substr(std::strlen(kCacheTagV2));
+        in_section = true;
     } else {
         warn("ignoring sweep cache %s: unrecognized format tag",
              path.c_str());
@@ -110,27 +114,27 @@ RunCache::mergeFromFile(const std::string &path,
         if (line.empty())
             continue;
         if (startsWith(line, kSectionTag)) {
-            section = &sections_[line.substr(std::strlen(kSectionTag))];
+            sig = line.substr(std::strlen(kSectionTag));
+            in_section = true;
             continue;
         }
         if (line[0] == '#' || startsWith(line, "workload,"))
             continue; // comment / csv header
         RunMetrics m;
-        if (section != nullptr && RunMetrics::fromCsv(line, m)) {
-            Key key{m.workload, m.policy};
+        if (in_section && RunMetrics::fromCsv(line, m)) {
             // Rows already in memory win; for a key both sides hold,
             // determinism says the values must be identical, so an
             // actual difference is worth counting (and, for a
             // coordinator merge, fatal - see mergeShardCaches). The
             // collision cases are rare, so rows only re-serialize
             // for comparison when the key already exists.
-            auto it = section->find(key);
-            if (it == section->end()) {
-                section->emplace(std::move(key), std::move(m));
+            const RunMetrics *held = find(sig, m.workload, m.policy);
+            if (held == nullptr) {
+                appendRow(sig, std::move(m));
                 ++stats.rows;
             } else if (!classify_collisions) {
                 ++stats.duplicates;
-            } else if (it->second.toCsv() == m.toCsv()) {
+            } else if (held->toCsv() == m.toCsv()) {
                 ++stats.duplicates;
             } else {
                 ++stats.conflicts;
@@ -198,6 +202,10 @@ RunCache::save()
     warnMergeProblems(path_,
                       mergeFromFile(path_,
                                     /*classify_collisions=*/false));
+    // Publish pending rows (including what the merge just pulled in)
+    // so one sorted index covers everything; the snapshot's
+    // canonical section/row order is the file's serialization order.
+    std::shared_ptr<const CacheSnapshot> snap = snapshot();
     // Write-then-rename keeps the cache whole even if a sweep is
     // interrupted mid-save or two binaries race on the same file;
     // the pid suffix keeps concurrent processes' tmp files private.
@@ -208,13 +216,11 @@ RunCache::save()
         if (!out)
             return false;
         out << kCacheTagV3 << "\n";
-        for (const auto &[sig, section] : sections_) {
-            if (section.empty())
-                continue;
+        for (const auto &[sig, section] : snap->sections()) {
             out << kSectionTag << sig << "\n";
             out << RunMetrics::csvHeader() << "\n";
             for (const auto &[key, m] : section)
-                out << m.toCsv() << "\n";
+                out << m->toCsv() << "\n";
         }
         if (!out.good()) {
             std::remove(tmp.c_str());
@@ -231,38 +237,84 @@ RunCache::save()
 }
 
 const RunMetrics *
+RunCache::appendRow(const std::string &sig, RunMetrics m)
+{
+    log_->push_back(std::move(m));
+    const RunMetrics *row = &log_->back();
+    fresh_[sig].emplace(Key{row->workload, row->policy}, row);
+    return row;
+}
+
+const RunMetrics *
 RunCache::find(const std::string &sig, const std::string &workload,
                const std::string &policy) const
 {
-    auto sit = sections_.find(sig);
-    if (sit == sections_.end())
-        return nullptr;
-    auto rit = sit->second.find(Key{workload, policy});
-    return rit == sit->second.end() ? nullptr : &rit->second;
+    auto sit = fresh_.find(sig);
+    if (sit != fresh_.end()) {
+        auto rit = sit->second.find(Key{workload, policy});
+        if (rit != sit->second.end())
+            return rit->second;
+    }
+    return base_->find(sig, workload, policy);
 }
 
 const RunMetrics &
 RunCache::insert(const std::string &sig, RunMetrics m)
 {
-    Key key{m.workload, m.policy};
-    auto [it, fresh] =
-        sections_[sig].emplace(std::move(key), std::move(m));
-    if (fresh && ++unsaved_ >= checkpointInterval_) {
+    fatal_if(m.placeholder,
+             "refusing to cache a placeholder row for %s/%s: all-zero "
+             "shard stand-ins are not results (engine bug - "
+             "placeholders must never reach RunCache::insert)",
+             m.workload.c_str(), m.policy.c_str());
+    checkCacheName("workload", m.workload);
+    checkCacheName("policy", m.policy);
+    fatal_if(m.workload == "workload",
+             "workload name 'workload' cannot key the run cache: its "
+             "rows would start with the CSV header prefix "
+             "\"workload,\" and be skipped on reload");
+    if (const RunMetrics *held = find(sig, m.workload, m.policy))
+        return *held; // first write wins
+    const RunMetrics *stored = appendRow(sig, std::move(m));
+    if (++unsaved_ >= checkpointInterval_) {
         save();
         unsaved_ = 0;
     }
-    return it->second;
+    return *stored;
+}
+
+std::shared_ptr<const CacheSnapshot>
+RunCache::snapshot()
+{
+    if (!fresh_.empty()) {
+        // Rebuild the index from scratch rather than addAll(base_):
+        // every row lives in log_, so retaining the log alone keeps
+        // the new snapshot self-contained and lets superseded
+        // snapshots die with their last reader instead of chaining.
+        CacheSnapshot::Builder b;
+        for (const auto &[sig, section] : base_->sections()) {
+            for (const auto &[key, row] : section)
+                b.add(sig, row);
+        }
+        for (const auto &[sig, section] : fresh_) {
+            for (const auto &[key, row] : section)
+                b.add(sig, row);
+        }
+        b.retain(log_);
+        base_ = b.build();
+        fresh_.clear();
+    }
+    return base_;
 }
 
 double
 RunCache::estimateEvents(const std::string &workload,
                          const std::string &policy) const
 {
-    double best = 0.0;
-    for (const auto &[sig, section] : sections_) {
+    double best = base_->estimateEvents(workload, policy);
+    for (const auto &[sig, section] : fresh_) {
         auto it = section.find(Key{workload, policy});
-        if (it != section.end() && it->second.simEvents > best)
-            best = it->second.simEvents;
+        if (it != section.end() && it->second->simEvents > best)
+            best = it->second->simEvents;
     }
     return best;
 }
@@ -287,8 +339,8 @@ RunCache::saveNow()
 std::size_t
 RunCache::size() const
 {
-    std::size_t n = 0;
-    for (const auto &[sig, section] : sections_)
+    std::size_t n = base_->rows();
+    for (const auto &[sig, section] : fresh_)
         n += section.size();
     return n;
 }
@@ -358,6 +410,7 @@ SweepEngine::placeholderFor(const std::string &sig,
         RunMetrics m;
         m.workload = workload;
         m.policy = policy;
+        m.placeholder = true;
         it = placeholders_.emplace(std::move(key), std::move(m)).first;
         skipped_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -593,6 +646,23 @@ SweepEngine::flush()
 {
     std::lock_guard<std::mutex> lk(mu_);
     cache_.flush();
+}
+
+std::shared_ptr<const CacheSnapshot>
+SweepEngine::snapshot()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::shared_ptr<const CacheSnapshot> own = cache_.snapshot();
+    std::shared_ptr<const CacheSnapshot> side = warm_.snapshot();
+    if (side->rows() == 0)
+        return own;
+    // Union with the warm side store, writable rows winning - the
+    // same precedence findCached() applies. addAll retains both
+    // inputs, so the merged snapshot keeps their row stores alive.
+    CacheSnapshot::Builder b;
+    b.addAll(own);
+    b.addAll(side);
+    return b.build();
 }
 
 } // namespace migc

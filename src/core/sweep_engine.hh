@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache_snapshot.hh"
 #include "core/metrics.hh"
 #include "core/shard.hh"
 #include "core/sim_config.hh"
@@ -98,7 +100,20 @@ struct RunRequest
  * An empty path disables disk I/O; results are then memoized in
  * memory only (the MIGC_NO_CACHE=1 behavior).
  *
- * Not internally synchronized: the owning engine serializes access.
+ * Internally the cache is an append-only row store plus an immutable
+ * index: rows land in a log (a deque whose elements never move) and
+ * are indexed either by the published CacheSnapshot (`base_`) or by
+ * the not-yet-published append index (`fresh_`). snapshot() folds
+ * the append index into a new immutable snapshot and swaps it in -
+ * that snapshot can then be queried by any number of threads with no
+ * locking while this cache keeps inserting (see cache_snapshot.hh
+ * and docs/SERVE.md). Row pointers handed out by find()/insert()
+ * stay valid for the cache's lifetime (and beyond it, for as long as
+ * any snapshot lives - snapshots retain the row store).
+ *
+ * The mutating API is not internally synchronized: the owning engine
+ * serializes writers. Published snapshots are safe to read from
+ * anywhere.
  */
 class RunCache
 {
@@ -168,10 +183,25 @@ class RunCache
     /**
      * Record a completed run under @p sig (first write wins). The
      * file is checkpointed after every checkpoint_interval inserts;
-     * call flush() when a sweep finishes.
+     * call flush() when a sweep finishes. Fatal on rows the cache
+     * cannot round-trip: placeholder rows (all-zero shard stand-ins
+     * must never be persisted as results) and workload/policy names
+     * containing v3 metacharacters (',', line breaks, leading '#' -
+     * they would reload as parse errors and the result would be
+     * silently lost; see sim/names.hh).
      * @return the stored row (stable reference).
      */
     const RunMetrics &insert(const std::string &sig, RunMetrics m);
+
+    /**
+     * The current contents as an immutable snapshot: publishes any
+     * append-log rows into a fresh CacheSnapshot, swaps it in, and
+     * returns it. The returned snapshot is safe for concurrent
+     * lock-free reads and stays valid (rows included) independent of
+     * this cache's later inserts or destruction. Cheap when nothing
+     * was appended since the last call (returns the held snapshot).
+     */
+    std::shared_ptr<const CacheSnapshot> snapshot();
 
     /**
      * Scheduler cost estimate for (workload, policy): the largest
@@ -189,8 +219,10 @@ class RunCache
     std::size_t size() const;
 
   private:
-    using Key = std::pair<std::string, std::string>;
-    using Section = std::map<Key, RunMetrics>;
+    using Key = CacheSnapshot::Key;
+
+    /** Index of appended-but-unpublished rows in one section. */
+    using FreshSection = std::map<Key, const RunMetrics *>;
 
     void load();
 
@@ -216,6 +248,10 @@ class RunCache
     /** @return true when the file reached disk (or I/O is off). */
     bool save();
 
+    /** Append @p m to the row log and index it in fresh_; the row
+     *  address is stable for the log's lifetime. */
+    const RunMetrics *appendRow(const std::string &sig, RunMetrics m);
+
     std::string path_;
     std::size_t checkpointInterval_;
     std::size_t unsaved_ = 0;
@@ -227,7 +263,21 @@ class RunCache
      *  two lost rows. */
     std::set<std::string> badLines_;
 
-    std::map<std::string, Section> sections_;
+    /**
+     * The append log: every row this cache ever learned (from disk
+     * or insert()), in arrival order. A deque never relocates
+     * elements, so `const RunMetrics *` handed to snapshots and
+     * callers stay valid across appends. Held by shared_ptr because
+     * every published snapshot retains it.
+     */
+    std::shared_ptr<std::deque<RunMetrics>> log_;
+
+    /** Immutable index over the published prefix of log_. */
+    std::shared_ptr<const CacheSnapshot> base_;
+
+    /** Index of rows appended since the last publish (pointers into
+     *  log_); folded into base_ by snapshot(). */
+    std::map<std::string, FreshSection> fresh_;
 };
 
 /**
@@ -289,6 +339,16 @@ class SweepEngine
 
     /** Persist any un-checkpointed results now. */
     void flush();
+
+    /**
+     * Immutable snapshot of everything this engine can currently
+     * answer from memory: the writable cache unioned with the warm
+     * side store (writable rows win, matching findCached). Safe for
+     * concurrent lock-free queries; stays valid independent of later
+     * engine activity. Placeholder rows are never included. This is
+     * the serving surface of migc_serve (src/serve/).
+     */
+    std::shared_ptr<const CacheSnapshot> snapshot();
 
     /** Simulations actually executed (cache misses). */
     std::uint64_t simulationsPerformed() const { return sims_.load(); }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "sim/names.hh"
 
 namespace migc
 {
@@ -146,6 +147,10 @@ PolicyRegistry::instance()
 void
 PolicyRegistry::add(Entry entry)
 {
+    // Policy names key RunCache rows; a name the cache cannot
+    // round-trip would be cached-and-lost (reloaded rows fail the
+    // CSV field-count check and the point silently re-simulates).
+    checkCacheName("policy", entry.name);
     for (auto &e : entries_) {
         if (e.name == entry.name) {
             e = std::move(entry);
@@ -168,6 +173,13 @@ PolicyRegistry::findEntry(const std::string &base) const
 bool
 PolicyRegistry::tryMake(const std::string &spec, CachePolicy &out) const
 {
+    // The full spec - parameter included - becomes the policy's name
+    // and therefore a cache key, so a spec like "CacheRW-DynAB@0,5"
+    // must die here: its comma would split the serialized row and
+    // the result would be dropped as a parse error on reload. Fatal
+    // rather than "unknown": the base name may be perfectly valid,
+    // and an actionable message beats a misleading name listing.
+    checkCacheName("policy", spec);
     std::string base, param;
     splitSpec(spec, base, param);
     // A trailing '@' ("CacheRW-DynAB@") would alias the default

@@ -1,0 +1,99 @@
+#include "serve/serve_protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+std::vector<std::string>
+serveTokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t' || line[i] == '\r'))
+            ++i;
+        std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+               line[i] != '\r')
+            ++i;
+        if (i > start)
+            out.push_back(line.substr(start, i - start));
+    }
+    return out;
+}
+
+namespace
+{
+
+ServeRequest
+badRequest(std::string message)
+{
+    ServeRequest req;
+    req.kind = ServeRequest::Kind::error;
+    req.error = std::move(message);
+    return req;
+}
+
+} // namespace
+
+ServeRequest
+parseServeRequest(const std::string &line)
+{
+    ServeRequest req;
+    std::vector<std::string> tok = serveTokens(line);
+    if (tok.empty() || tok[0][0] == '#')
+        return req; // blank / comment: Kind::none
+    const std::string &verb = tok[0];
+    if (verb == "get" || verb == "match") {
+        if (tok.size() != 4) {
+            return badRequest(csprintf(
+                "%s takes exactly 3 operands: %s <config> <workload> "
+                "<policy> (got %zu)",
+                verb.c_str(), verb.c_str(), tok.size() - 1));
+        }
+        req.kind = verb == "get" ? ServeRequest::Kind::get
+                                 : ServeRequest::Kind::match;
+        req.config = tok[1];
+        req.workload = tok[2];
+        req.policy = tok[3];
+        return req;
+    }
+    if (verb == "stats" || verb == "wait" || verb == "help") {
+        if (tok.size() != 1) {
+            return badRequest(
+                csprintf("%s takes no operands", verb.c_str()));
+        }
+        req.kind = verb == "stats" ? ServeRequest::Kind::stats
+                   : verb == "wait" ? ServeRequest::Kind::wait
+                                    : ServeRequest::Kind::help;
+        return req;
+    }
+    return badRequest(csprintf(
+        "unknown command '%s' (try: help)", verb.c_str()));
+}
+
+std::string
+serveHelpText()
+{
+    return
+        "# get <config> <workload> <policy>   exact lookup; hit "
+        "prints one CSV row,\n"
+        "#                                    cold prints '# miss "
+        "...' and simulates\n"
+        "# match <config> <workload> <policy> glob lookup ('*', "
+        "'?'); rows then\n"
+        "#                                    '# matched N'\n"
+        "# stats                              one-line counters\n"
+        "# wait                               block until enqueued "
+        "misses finish\n"
+        "# help                               this text\n"
+        "# <config> is a preset (default, paper, test) or a config "
+        "signature;\n"
+        "# match also globs over signatures. Rows are v3 cache CSV, "
+        "status lines\n"
+        "# start with '#'.\n";
+}
+
+} // namespace migc

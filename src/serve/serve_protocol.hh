@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The migc_serve wire protocol: newline-delimited text requests.
+ *
+ * One request per line, whitespace-separated tokens:
+ *
+ *   get <config> <workload> <policy>     exact-key lookup
+ *   match <config> <workload> <policy>   glob lookup ('*', '?')
+ *   stats                                one-line counters
+ *   wait                                 block until misses drain
+ *   help                                 protocol summary
+ *
+ * Blank lines and lines starting with '#' are ignored (so a cache
+ * file or a recorded session can be replayed as input). Responses
+ * are newline-delimited too: result rows are raw RunMetrics CSV
+ * (byte-identical to the v3 cache file), everything else - status,
+ * errors, the `match` trailer - starts with '#', so a client (or CI)
+ * separates data from status with one grep.
+ *
+ * This header is pure parsing: text in, ServeRequest out. The
+ * semantics live in serve_service.hh.
+ */
+
+#ifndef MIGC_SERVE_SERVE_PROTOCOL_HH
+#define MIGC_SERVE_SERVE_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+namespace migc
+{
+
+/** One parsed request line. */
+struct ServeRequest
+{
+    enum class Kind
+    {
+        none,  ///< blank / comment: no response at all
+        get,   ///< exact key lookup
+        match, ///< glob lookup
+        stats,
+        wait,
+        help,
+        error, ///< unparseable; `error` holds the message
+    };
+
+    Kind kind = Kind::none;
+
+    /** Operands of get/match (config, workload, policy). */
+    std::string config;
+    std::string workload;
+    std::string policy;
+
+    /** Parse-error message for Kind::error. */
+    std::string error;
+};
+
+/** Split @p line on runs of spaces/tabs (no quoting: cache names
+ *  reject whitespace-adjacent forms anyway, see sim/names.hh). */
+std::vector<std::string> serveTokens(const std::string &line);
+
+/** Parse one request line (never throws; bad input returns
+ *  Kind::error with a message naming the problem). */
+ServeRequest parseServeRequest(const std::string &line);
+
+/** The `help` response body (each line '#'-prefixed). */
+std::string serveHelpText();
+
+} // namespace migc
+
+#endif // MIGC_SERVE_SERVE_PROTOCOL_HH

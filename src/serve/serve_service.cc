@@ -1,0 +1,236 @@
+#include "serve/serve_service.hh"
+
+#include <exception>
+
+#include "policy/policy_registry.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace migc
+{
+
+ServeService::ServeService(SweepEngine &engine)
+    : ServeService(engine, Options())
+{}
+
+ServeService::ServeService(SweepEngine &engine, Options opts)
+    : engine_(engine), opts_(opts), snapshot_(engine.snapshot())
+{
+    presets_.emplace("default", SimConfig::defaultConfig());
+    presets_.emplace("paper", SimConfig::paperConfig());
+    presets_.emplace("test", SimConfig::testConfig());
+    for (const auto &[name, cfg] : presets_)
+        sigToPreset_.emplace(cfg.signature(), name);
+    if (opts_.simulate)
+        worker_ = std::thread([this] { missWorker(); });
+}
+
+ServeService::~ServeService()
+{
+    {
+        std::lock_guard<std::mutex> lk(missMu_);
+        stop_ = true;
+    }
+    missCv_.notify_all();
+    drainCv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+const SimConfig *
+ServeService::configFor(const std::string &token,
+                        std::string &sig_out) const
+{
+    auto pit = presets_.find(token);
+    if (pit != presets_.end()) {
+        sig_out = pit->second.signature();
+        return &pit->second;
+    }
+    // Not a preset: treat the token as a signature. It is still
+    // simulatable if it happens to be a preset's signature.
+    sig_out = token;
+    auto sit = sigToPreset_.find(token);
+    if (sit != sigToPreset_.end())
+        return &presets_.at(sit->second);
+    return nullptr;
+}
+
+std::string
+ServeService::handleGet(const ServeRequest &req)
+{
+    std::string sig;
+    const SimConfig *cfg = configFor(req.config, sig);
+    std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
+    if (const RunMetrics *row = snap->find(sig, req.workload,
+                                           req.policy)) {
+        served_.fetch_add(1, std::memory_order_relaxed);
+        return row->toCsv() + "\n";
+    }
+
+    const std::string point = csprintf(
+        "%s/%s/%s", req.config.c_str(), req.workload.c_str(),
+        req.policy.c_str());
+    if (!opts_.simulate)
+        return csprintf("# miss %s\n", point.c_str());
+    if (cfg == nullptr) {
+        return csprintf(
+            "# error: %s not cached, and config '%s' is not a preset "
+            "(default, paper, test) - cannot simulate it\n",
+            point.c_str(), req.config.c_str());
+    }
+    if (!WorkloadRegistry::instance().known(req.workload)) {
+        return csprintf("# error: unknown workload '%s'\n",
+                        req.workload.c_str());
+    }
+    if (!PolicyRegistry::instance().known(req.policy)) {
+        return csprintf("# error: unknown policy '%s'\n",
+                        req.policy.c_str());
+    }
+
+    PointKey key{sig, req.workload, req.policy};
+    std::lock_guard<std::mutex> lk(missMu_);
+    // Re-check the freshest snapshot under the miss lock: the worker
+    // publishes a new snapshot *before* erasing a job from pending_,
+    // so a point absent from this load and absent from pending_ has
+    // genuinely never been enqueued - each cold grid point enqueues
+    // exactly one simulation no matter how many clients ask.
+    snap = snapshot_.load();
+    if (const RunMetrics *row = snap->find(sig, req.workload,
+                                           req.policy)) {
+        served_.fetch_add(1, std::memory_order_relaxed);
+        return row->toCsv() + "\n";
+    }
+    if (pending_.count(key)) {
+        return csprintf(
+            "# miss %s: simulation already enqueued (wait, then "
+            "re-get)\n",
+            point.c_str());
+    }
+    pending_.insert(key);
+    queue_.push_back(
+        MissJob{*cfg, req.workload, req.policy, std::move(key)});
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    missCv_.notify_one();
+    return csprintf(
+        "# miss %s: simulation enqueued (wait, then re-get)\n",
+        point.c_str());
+}
+
+std::string
+ServeService::handleMatch(const ServeRequest &req)
+{
+    // A preset name resolves to that preset's exact signature;
+    // anything else globs over section signatures directly (a
+    // glob-free signature matches itself literally).
+    std::string sig_pattern = req.config;
+    auto pit = presets_.find(req.config);
+    if (pit != presets_.end())
+        sig_pattern = pit->second.signature();
+
+    std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
+    std::vector<const RunMetrics *> rows =
+        snap->match(sig_pattern, req.workload, req.policy);
+    std::string out;
+    for (const RunMetrics *row : rows)
+        out += row->toCsv() + "\n";
+    served_.fetch_add(rows.size(), std::memory_order_relaxed);
+    out += csprintf("# matched %zu row%s\n", rows.size(),
+                    rows.size() == 1 ? "" : "s");
+    return out;
+}
+
+std::string
+ServeService::handleStats()
+{
+    std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
+    std::size_t pending;
+    {
+        std::lock_guard<std::mutex> lk(missMu_);
+        pending = pending_.size();
+    }
+    return csprintf(
+        "# stats rows=%zu sections=%zu served=%llu "
+        "miss-enqueues=%llu pending=%zu simulated=%llu\n",
+        snap->rows(), snap->sections().size(),
+        static_cast<unsigned long long>(served_.load()),
+        static_cast<unsigned long long>(enqueued_.load()), pending,
+        static_cast<unsigned long long>(
+            engine_.simulationsPerformed()));
+}
+
+std::string
+ServeService::handleLine(const std::string &line)
+{
+    ServeRequest req = parseServeRequest(line);
+    switch (req.kind) {
+      case ServeRequest::Kind::none:
+        return "";
+      case ServeRequest::Kind::get:
+        return handleGet(req);
+      case ServeRequest::Kind::match:
+        return handleMatch(req);
+      case ServeRequest::Kind::stats:
+        return handleStats();
+      case ServeRequest::Kind::wait:
+        drain();
+        return "# drained\n";
+      case ServeRequest::Kind::help:
+        return serveHelpText();
+      case ServeRequest::Kind::error:
+        return csprintf("# error: %s\n", req.error.c_str());
+    }
+    return csprintf("# error: unhandled request\n");
+}
+
+void
+ServeService::drain()
+{
+    std::unique_lock<std::mutex> lk(missMu_);
+    drainCv_.wait(lk, [this] {
+        return pending_.empty() || stop_;
+    });
+}
+
+void
+ServeService::missWorker()
+{
+    for (;;) {
+        MissJob job;
+        {
+            std::unique_lock<std::mutex> lk(missMu_);
+            missCv_.wait(lk, [this] {
+                return stop_ || !queue_.empty();
+            });
+            if (stop_)
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            const RunMetrics &row =
+                engine_.get(job.cfg, job.workload, job.policy);
+            // The engine only hands back a placeholder under an
+            // active shard spec, which migc_serve refuses to start
+            // under - but a served zero row would silently poison
+            // clients, so check anyway. Builder::add() drops it from
+            // the snapshot; just complain.
+            if (row.placeholder) {
+                warn("miss worker got a placeholder row for %s/%s; "
+                     "not publishing it",
+                     job.workload.c_str(), job.policy.c_str());
+            }
+        } catch (const std::exception &e) {
+            warn("simulate-on-miss for %s/%s failed: %s",
+                 job.workload.c_str(), job.policy.c_str(), e.what());
+        }
+        // Publish before erasing from pending_ (see handleGet).
+        snapshot_.store(engine_.snapshot());
+        {
+            std::lock_guard<std::mutex> lk(missMu_);
+            pending_.erase(job.key);
+        }
+        drainCv_.notify_all();
+    }
+}
+
+} // namespace migc

@@ -78,10 +78,19 @@ warnImpl(const std::string &m)
     std::fprintf(stderr, "warn: %s\n", m.c_str());
 }
 
+namespace
+{
+
+std::atomic<FILE *> informStream{nullptr};
+
+} // namespace
+
 void
 informImpl(const std::string &m)
 {
-    std::fprintf(stdout, "info: %s\n", m.c_str());
+    FILE *out = informStream.load(std::memory_order_relaxed);
+    std::fprintf(out != nullptr ? out : stdout, "info: %s\n",
+                 m.c_str());
 }
 
 std::uint64_t
@@ -102,6 +111,13 @@ void
 setLogLevel(LogLevel lvl)
 {
     logging_detail::currentLogLevel = static_cast<int>(lvl);
+}
+
+void
+setInformStream(FILE *stream)
+{
+    logging_detail::informStream.store(stream,
+                                       std::memory_order_relaxed);
 }
 
 std::string

@@ -14,6 +14,7 @@
 #define MIGC_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,13 @@ logEnabled(LogLevel lvl)
 LogLevel logLevel();
 
 void setLogLevel(LogLevel lvl);
+
+/**
+ * Redirect inform() output (default: stdout; nullptr restores it).
+ * migc_serve's stdin mode points it at stderr so status chatter
+ * cannot interleave with protocol responses on stdout.
+ */
+void setInformStream(std::FILE *stream);
 
 namespace logging_detail
 {

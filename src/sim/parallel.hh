@@ -19,18 +19,24 @@
 #include <utility>
 #include <vector>
 
+#include "sim/env.hh"
+
 namespace migc
 {
 
-/** Worker count for parallel sweeps: MIGC_JOBS, else all cores. */
+/**
+ * Worker count for parallel sweeps: MIGC_JOBS, else all cores.
+ * A malformed MIGC_JOBS ("abc", "0", "-1") is fatal, matching
+ * MIGC_SHARDS / MIGC_SHARD_INDEX: a typo'd job count must not
+ * silently fall back to oversubscribing every core. An unset or
+ * empty variable still means the hardware default.
+ */
 inline unsigned
 sweepJobs()
 {
     if (const char *env = std::getenv("MIGC_JOBS")) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0 && v <= 4096)
-            return static_cast<unsigned>(v);
+        if (env[0] != '\0')
+            return parseBoundedUnsigned("MIGC_JOBS", env, 1, 4096);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/names.hh"
 #include "workloads/attention.hh"
 #include "workloads/batchnorm.hh"
 #include "workloads/composed.hh"
@@ -103,6 +104,15 @@ WorkloadRegistry::instance()
 void
 WorkloadRegistry::add(Entry entry)
 {
+    // Workload names are the first field of every cache row: a name
+    // the v3 format cannot round-trip would be cached-and-lost. The
+    // literal name "workload" is also rejected - its rows would
+    // start with the CSV header prefix "workload," and be skipped as
+    // headers on reload.
+    checkCacheName("workload", entry.name);
+    fatal_if(entry.name == "workload",
+             "workload name 'workload' collides with the run-cache "
+             "CSV header prefix; its rows would be dropped on reload");
     for (auto &e : entries_) {
         if (e.name == entry.name) {
             e = std::move(entry);

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Fail on broken relative links in the repository's markdown docs.
+# Fail on broken relative links and absolute-path references in the
+# repository's markdown docs.
 #
-# Scans README.md and docs/*.md for inline markdown links/images
-# `[text](target)` whose target is a relative path (external URLs
-# and pure in-page #anchors are skipped), strips any #fragment, and
-# checks that the target exists relative to the linking file. CI
-# runs this as the docs-check step; run it locally from the repo
-# root before touching the docs.
+# Scans README.md, ROADMAP.md, and docs/*.md for inline markdown
+# links/images `[text](target)` whose target is a relative path
+# (external URLs and pure in-page #anchors are skipped), strips any
+# #fragment, and checks that the target exists relative to the
+# linking file. Absolute-path link targets and prose references to
+# absolute checkout paths (`/root/...`) are also errors: they point
+# at one machine's filesystem, not the repo, and rot silently.
+# SNIPPETS.md is exempt — it is a generated retrieval artifact, not
+# maintained documentation. CI runs this as the docs-check step; run
+# it locally from the repo root before touching the docs.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -14,16 +19,18 @@ cd "$(dirname "$0")/.."
 status=0
 checked=0
 
-for file in README.md docs/*.md; do
+for file in README.md ROADMAP.md docs/*.md; do
     [ -f "$file" ] || continue
     dir=$(dirname "$file")
-    # One inline link target per line. Fenced code blocks are
-    # stripped first (a C++ lambda like "[](const T &x)" is not a
-    # link). Markdown permits titles after the path
-    # ("](a.md \"title\")"); everything from the first whitespace on
-    # is dropped with the ')'.
-    targets=$(awk '/^[[:space:]]*```/ { inblock = !inblock; next } !inblock' "$file" \
-        | grep -oE '\]\([^)]+\)' | sed -e 's/^](//' -e 's/)$//' -e 's/[[:space:]].*//')
+    # Fenced code blocks are stripped first (a C++ lambda like
+    # "[](const T &x)" is not a link; a shell example may legally
+    # show an absolute path).
+    prose=$(awk '/^[[:space:]]*```/ { inblock = !inblock; next } !inblock' "$file")
+    # One inline link target per line. Markdown permits titles after
+    # the path ("](a.md \"title\")"); everything from the first
+    # whitespace on is dropped with the ')'.
+    targets=$(grep -oE '\]\([^)]+\)' <<< "$prose" \
+        | sed -e 's/^](//' -e 's/)$//' -e 's/[[:space:]].*//')
     while IFS= read -r target; do
         [ -n "$target" ] || continue
         case "$target" in
@@ -32,16 +39,33 @@ for file in README.md docs/*.md; do
         path=${target%%#*}
         [ -n "$path" ] || continue
         checked=$((checked + 1))
+        case "$path" in
+            /*)
+                echo "ABSOLUTE: $file -> $target (link targets must be repo-relative)" >&2
+                status=1
+                continue
+                ;;
+        esac
         if [ ! -e "$dir/$path" ]; then
             echo "BROKEN: $file -> $target" >&2
             status=1
         fi
     done <<< "$targets"
+    # Prose references to a checkout-absolute path (typically from a
+    # scratch environment, e.g. `/root/related/...`) dangle for every
+    # other reader of the repo.
+    rootrefs=$(grep -nE '(^|[^[:alnum:]_./-])/root/[[:alnum:]_./-]+' <<< "$prose" || true)
+    if [ -n "$rootrefs" ]; then
+        while IFS= read -r line; do
+            echo "ABSOLUTE: $file: $line (references a checkout-local /root/ path)" >&2
+        done <<< "$rootrefs"
+        status=1
+    fi
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "docs-check: $checked relative links OK"
+    echo "docs-check: $checked relative links OK, no absolute-path references"
 else
-    echo "docs-check: broken relative links found" >&2
+    echo "docs-check: broken or absolute-path references found" >&2
 fi
 exit $status
