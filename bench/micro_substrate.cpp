@@ -195,6 +195,104 @@ benchTagsVictimSearch()
     return r;
 }
 
+/**
+ * Sustained sequential lookup sweep over every resident line: the
+ * streaming counterpart to tags_lookup_hit's random probes. Walks
+ * the whole footprint in address order so each set's address lane is
+ * scanned back to back - the pure SoA/SIMD scan rate with no RNG in
+ * the loop.
+ */
+BenchResult
+benchTagsSoaScanSweep()
+{
+    BenchResult r;
+    r.name = "tags_soa_scan_sweep";
+    r.eventScenario = false;
+    Tags tags(1 << 20, 16, 64, ReplKind::lru);
+    for (Addr a = 0; a < (1 << 20); a += 64) {
+        CacheBlk *v = tags.findVictim(a);
+        tags.insert(v, a, BlkState::valid, 0);
+    }
+    const int reps = 2000;
+    const std::uint64_t lines = (1 << 20) / 64;
+    std::uint64_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+        for (Addr a = 0; a < (1 << 20); a += 64)
+            sink += tags.findBlock(a) != nullptr;
+    }
+    r.seconds = secondsSince(t0);
+    r.items = lines * reps;
+    if (sink != r.items)
+        std::fprintf(stderr, "tags_soa_scan_sweep: unexpected misses\n");
+    return r;
+}
+
+/**
+ * busyWays over random sets with half the store busy: the occupancy
+ * probe the dynamic allocation-bypass policy (CacheRW-DynAB) makes
+ * on every store. One popcount per call against the busy bitmap.
+ */
+BenchResult
+benchBusyBitmapPopcount()
+{
+    BenchResult r;
+    r.name = "busy_bitmap_popcount";
+    r.eventScenario = false;
+    Tags tags(1 << 20, 16, 64, ReplKind::lru);
+    int i = 0;
+    for (Addr a = 0; a < (1 << 20); a += 64) {
+        CacheBlk *v = tags.findVictim(a);
+        tags.insert(v, a, (i++ % 2) ? BlkState::busy : BlkState::valid,
+                    0);
+    }
+    Rng rng(5);
+    const std::uint64_t n = 200'000'000;
+    std::uint64_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t k = 0; k < n; ++k) {
+        Addr a = rng.below((1 << 20) / 64) * 64;
+        sink += tags.busyWays(a);
+    }
+    r.seconds = secondsSince(t0);
+    r.items = n;
+    // Half the ways of every set are busy, so the mean must be 8.
+    if (sink != n * 8)
+        std::fprintf(stderr, "busy_bitmap_popcount: unexpected sum\n");
+    return r;
+}
+
+/**
+ * Deep-queue drain at 4x the eq_depth_16384 population: the shape
+ * that separates heap arities (siftDown dominates, and the tree
+ * depth spans more cache levels). Outside the headline pool so the
+ * headline stays comparable with pre-PR7 records.
+ */
+BenchResult
+benchEqDaryDepth()
+{
+    BenchResult r;
+    r.name = "eq_dary_depth";
+    r.eventScenario = false;
+    const std::size_t depth = 65536;
+    const int reps = 40;
+    for (int rep = 0; rep < reps; ++rep) {
+        EventQueue eq;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        Rng rng(static_cast<std::uint64_t>(rep + 1));
+        for (std::size_t i = 0; i < depth; ++i) {
+            evs.push_back(
+                std::make_unique<EventFunctionWrapper>([] {}, "bm"));
+            eq.schedule(evs.back().get(), rng.below(1'000'000));
+        }
+        auto t0 = BenchClock::now();
+        eq.run();
+        r.seconds += secondsSince(t0);
+    }
+    r.items = depth * reps;
+    return r;
+}
+
 BenchResult
 benchEndToEnd(const std::string &workload, const std::string &policy)
 {
@@ -433,7 +531,8 @@ toJson(const std::vector<BenchResult> &results, double headline,
        const std::vector<ScheduleModel> &models)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
+    os << "{\n  \"schema\": 1,\n  \"simd_isa\": \"" << Tags::simdIsa()
+       << "\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         os << "    {\"name\": \"" << r.name << "\", \"items\": "
@@ -534,6 +633,9 @@ main(int argc, char **argv)
     results.push_back(benchEqDepth());
     results.push_back(benchTagsLookupHit());
     results.push_back(benchTagsVictimSearch());
+    results.push_back(benchTagsSoaScanSweep());
+    results.push_back(benchBusyBitmapPopcount());
+    results.push_back(benchEqDaryDepth());
     results.push_back(benchEndToEnd("FwPool", "CacheRW"));
     results.push_back(benchEndToEnd("FwAct", "CacheRW-PCby"));
     results.push_back(benchPolicyDecisionOverhead());
@@ -606,10 +708,14 @@ main(int argc, char **argv)
         }
 
         // Non-headline scenarios (sweep throughput in runs/sec,
-        // policy verdicts in decisions/sec) gate individually
-        // against the baseline when it records them.
+        // policy verdicts in decisions/sec, tag-scan and heap-drain
+        // ops/sec) gate individually against the baseline when it
+        // records them.
         for (const auto &r : results) {
             if (r.name.rfind("sweep_", 0) != 0 &&
+                r.name.rfind("tags_", 0) != 0 &&
+                r.name != "busy_bitmap_popcount" &&
+                r.name != "eq_dary_depth" &&
                 r.name != "policy_decision_overhead")
                 continue;
             double base_rate = 0.0;

@@ -22,6 +22,12 @@ enum class BlkState : std::uint8_t
     busy,   ///< allocated; fill in flight
 };
 
+/**
+ * Per-block metadata. Blocks resident in a Tags store are mirrored
+ * into its SoA lanes and bitmaps (see tags.hh): read fields freely,
+ * but change `state` or `addr` only through Tags (`insert`,
+ * `setState`, `invalidateBlock`, `touch`) or the mirrors desync.
+ */
 struct CacheBlk
 {
     BlkState state = BlkState::invalid;

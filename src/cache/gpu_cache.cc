@@ -300,7 +300,7 @@ GpuCache::cachedWrite(PacketPtr pkt)
                 predictor_->trainReuse(blk->insertPc);
         }
         if (!blk->isDirty()) {
-            blk->state = BlkState::dirty;
+            tags_.setState(blk, BlkState::dirty);
             if (cfg_.rinsing) {
                 auto spilled = dbi_->add(addrMap_->rowId(blk->addr),
                                          blk->addr);
@@ -308,7 +308,7 @@ GpuCache::cachedWrite(PacketPtr pkt)
                     CacheBlk *sb = tags_.findBlock(line);
                     if (sb && sb->isDirty()) {
                         scheduleWriteback(line, pktFlagRinse);
-                        sb->state = BlkState::valid;
+                        tags_.setState(sb, BlkState::valid);
                     }
                 }
             }
@@ -372,7 +372,7 @@ GpuCache::cachedWrite(PacketPtr pkt)
             CacheBlk *sb = tags_.findBlock(line);
             if (sb && sb->isDirty()) {
                 scheduleWriteback(line, pktFlagRinse);
-                sb->state = BlkState::valid;
+                tags_.setState(sb, BlkState::valid);
             }
         }
     }
@@ -456,7 +456,7 @@ GpuCache::bypassWrite(PacketPtr pkt)
         }
         if (blk && blk->state == BlkState::valid) {
             // Write-through under a clean copy: invalidate it.
-            blk->invalidate();
+            tags_.invalidateBlock(blk);
             ++statInvalidations_;
         }
     }
@@ -506,7 +506,7 @@ GpuCache::evictBlock(CacheBlk *blk)
                     CacheBlk *rb = tags_.findBlock(line);
                     if (rb && rb->isDirty()) {
                         scheduleWriteback(line, pktFlagRinse);
-                        rb->state = BlkState::valid;
+                        tags_.setState(rb, BlkState::valid);
                     }
                 }
             } else {
@@ -520,7 +520,7 @@ GpuCache::evictBlock(CacheBlk *blk)
     }
 
     trainOnEviction(*blk);
-    blk->invalidate();
+    tags_.invalidateBlock(blk);
 }
 
 void
@@ -613,14 +613,15 @@ GpuCache::completeFill(PacketPtr fill_pkt)
     CacheBlk *blk = mshr->blk;
     panic_if(!blk->isBusy(), "fill into a non-busy block");
 
-    blk->state = mshr->hasStoreTarget ? BlkState::dirty : BlkState::valid;
+    tags_.setState(blk, mshr->hasStoreTarget ? BlkState::dirty
+                                             : BlkState::valid);
     if (blk->isDirty() && cfg_.rinsing) {
         auto spilled = dbi_->add(addrMap_->rowId(line), line);
         for (Addr spilled_line : spilled) {
             CacheBlk *sb = tags_.findBlock(spilled_line);
             if (sb && sb->isDirty()) {
                 scheduleWriteback(spilled_line, pktFlagRinse);
-                sb->state = BlkState::valid;
+                tags_.setState(sb, BlkState::valid);
             }
         }
     }
@@ -693,7 +694,7 @@ GpuCache::flushDirty(std::function<void()> on_done)
         scheduleWriteback(blk.addr, pktFlagFlush);
         if (cfg_.rinsing)
             dbi_->remove(addrMap_->rowId(blk.addr), blk.addr);
-        blk.state = BlkState::valid;
+        tags_.setState(&blk, BlkState::valid);
     });
 
     checkFlushDone();

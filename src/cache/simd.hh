@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Build-time-dispatched vector kernels for the tag-store hot paths.
+ *
+ * One ISA is selected per build: AVX2 or SSE2 on x86-64, NEON on
+ * aarch64, and a portable scalar path everywhere else or when
+ * MIGC_NO_SIMD is defined (the CMake option of the same name). The
+ * scalar variants are ALWAYS compiled and exported under their own
+ * names, so a vector build carries its own reference implementation:
+ * tests/test_simd_paths.cc drives both through the same inputs and
+ * asserts identical results, and the MIGC_NO_SIMD CI leg runs the
+ * whole suite on the scalar path so it can never rot.
+ *
+ * Every kernel is branch-exact with its scalar variant: the same
+ * index is returned for the same input, so swapping ISAs can never
+ * change simulated behavior (the goldens pin this end to end).
+ *
+ * All inline definitions here must be identical across translation
+ * units — the selecting macros are PUBLIC compile options on the
+ * migc target, so every dependent target sees the same ISA.
+ */
+
+#ifndef MIGC_CACHE_SIMD_HH
+#define MIGC_CACHE_SIMD_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(MIGC_NO_SIMD)
+#define MIGC_SIMD_SCALAR 1
+#elif defined(__AVX2__)
+#define MIGC_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define MIGC_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define MIGC_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MIGC_SIMD_SCALAR 1
+#endif
+
+namespace migc
+{
+namespace simd
+{
+
+/**
+ * Extra 64-bit lanes callers must allocate (as readable memory) past
+ * the end of any array handed to findLane, so the last vector load
+ * never reads out of bounds. Matches in the over-read region are
+ * handled (never returned), so the padding's contents are
+ * unconstrained.
+ */
+inline constexpr unsigned kLanePad = 4;
+
+/** Selected ISA, for logs and the perf-harness JSON. */
+inline const char *
+isaName()
+{
+#if defined(MIGC_SIMD_AVX2)
+    return "avx2";
+#elif defined(MIGC_SIMD_SSE2)
+    return "sse2";
+#elif defined(MIGC_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------
+// findLane: first index i < n with lanes[i] == key, else n.
+// ---------------------------------------------------------------------
+
+/** Portable reference; always compiled. */
+inline unsigned
+findLaneScalar(const std::uint64_t *lanes, unsigned n, std::uint64_t key)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        if (lanes[i] == key)
+            return i;
+    }
+    return n;
+}
+
+/**
+ * First lane holding @p key, scanning in ascending index order.
+ * Requires kLanePad readable lanes past lanes[n-1]; padding matches
+ * are ignored. Returns n when no lane < n matches.
+ */
+inline unsigned
+findLane(const std::uint64_t *lanes, unsigned n, std::uint64_t key)
+{
+#if defined(MIGC_SIMD_AVX2)
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    if (n == 16) {
+        // The default associativity. Branchless full scan: with the
+        // matching way at a random position, the early-exit loop's
+        // per-block branches mispredict constantly; one combined
+        // 16-bit mask plus a single ctz is ~3x faster on the lookup
+        // bench. ctz of the combined mask is still the lowest
+        // matching lane, so first-match semantics are unchanged.
+        const auto mask4 = [&](unsigned i) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(lanes + i));
+            return static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, k))));
+        };
+        const unsigned m = mask4(0) | mask4(4) << 4 | mask4(8) << 8 |
+                           mask4(12) << 12;
+        return m ? static_cast<unsigned>(std::countr_zero(m)) : 16;
+    }
+    for (unsigned i = 0; i < n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lanes + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, k)));
+        if (m) {
+            // Only the final block can overhang n; a sub-n match in
+            // it would be the lowest set bit, so idx >= n means the
+            // match sits entirely in the overhang.
+            const unsigned idx =
+                i + static_cast<unsigned>(
+                        std::countr_zero(static_cast<unsigned>(m)));
+            return idx < n ? idx : n;
+        }
+    }
+    return n;
+#elif defined(MIGC_SIMD_SSE2)
+    // SSE2 has no 64-bit compare: compare 32-bit halves and AND each
+    // half with its swapped neighbour so a lane reads all-ones only
+    // when both halves matched.
+    const __m128i k = _mm_set_epi64x(static_cast<long long>(key),
+                                     static_cast<long long>(key));
+    const auto mask2 = [&](unsigned i) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(lanes + i));
+        const __m128i eq32 = _mm_cmpeq_epi32(v, k);
+        const __m128i eq64 = _mm_and_si128(
+            eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+        return static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(eq64)));
+    };
+    if (n == 16) {
+        // Branchless full scan for the default associativity (see
+        // the AVX2 comment).
+        unsigned m = 0;
+        for (unsigned i = 0; i < 16; i += 2)
+            m |= mask2(i) << i;
+        return m ? static_cast<unsigned>(std::countr_zero(m)) : 16;
+    }
+    for (unsigned i = 0; i < n; i += 2) {
+        const unsigned m = mask2(i);
+        if (m) {
+            const unsigned idx =
+                i + static_cast<unsigned>(std::countr_zero(m));
+            return idx < n ? idx : n;
+        }
+    }
+    return n;
+#elif defined(MIGC_SIMD_NEON)
+    const uint64x2_t k = vdupq_n_u64(key);
+    for (unsigned i = 0; i < n; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(lanes + i), k);
+        if (vgetq_lane_u64(eq, 0))
+            return i < n ? i : n;
+        if (vgetq_lane_u64(eq, 1))
+            return i + 1 < n ? i + 1 : n;
+    }
+    return n;
+#else
+    return findLaneScalar(lanes, n, key);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// countByteEq: number of bytes equal to key. No padding required.
+// ---------------------------------------------------------------------
+
+/** Portable reference; always compiled. */
+inline std::size_t
+countByteEqScalar(const std::uint8_t *data, std::size_t n,
+                  std::uint8_t key)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        count += data[i] == key;
+    return count;
+}
+
+inline std::size_t
+countByteEq(const std::uint8_t *data, std::size_t n, std::uint8_t key)
+{
+#if defined(MIGC_SIMD_AVX2)
+    const __m256i k = _mm256_set1_epi8(static_cast<char>(key));
+    std::size_t count = 0, i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        count += static_cast<unsigned>(std::popcount(
+            static_cast<std::uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, k)))));
+    }
+    return count + countByteEqScalar(data + i, n - i, key);
+#elif defined(MIGC_SIMD_SSE2)
+    const __m128i k = _mm_set1_epi8(static_cast<char>(key));
+    std::size_t count = 0, i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + i));
+        count += static_cast<unsigned>(std::popcount(
+            static_cast<std::uint32_t>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(v, k)))));
+    }
+    return count + countByteEqScalar(data + i, n - i, key);
+#elif defined(MIGC_SIMD_NEON)
+    // vshrn narrows each 16-bit half-pair of compare results to a
+    // nibble, packing the 16-lane compare mask into one u64 with 4
+    // bits per byte lane.
+    const uint8x16_t k = vdupq_n_u8(key);
+    std::size_t count = 0, i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t eq = vceqq_u8(vld1q_u8(data + i), k);
+        const std::uint64_t m = vget_lane_u64(
+            vreinterpret_u64_u8(
+                vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)),
+            0);
+        count += static_cast<unsigned>(std::popcount(m)) / 4;
+    }
+    return count + countByteEqScalar(data + i, n - i, key);
+#else
+    return countByteEqScalar(data, n, key);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// forEachByteEq: fn(i) for each data[i] == key, ascending i.
+// ---------------------------------------------------------------------
+
+/**
+ * Portable reference; always compiled. The byte is re-read right
+ * before each call, so a callback may flip the byte it is visiting
+ * (the flush path does exactly that) without the iteration going
+ * stale; callbacks must not modify other bytes of @p data.
+ */
+template <typename Fn>
+inline void
+forEachByteEqScalar(const std::uint8_t *data, std::size_t n,
+                    std::uint8_t key, Fn &&fn)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] == key)
+            fn(i);
+    }
+}
+
+template <typename Fn>
+inline void
+forEachByteEq(const std::uint8_t *data, std::size_t n, std::uint8_t key,
+              Fn &&fn)
+{
+#if defined(MIGC_SIMD_AVX2)
+    const __m256i k = _mm256_set1_epi8(static_cast<char>(key));
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        std::uint32_t m = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, k)));
+        while (m) {
+            const std::size_t idx =
+                i + static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            // Re-check: the callback may have flipped a byte of this
+            // chunk after its mask was computed.
+            if (data[idx] == key)
+                fn(idx);
+        }
+    }
+    forEachByteEqScalar(data + i, n - i, key,
+                        [&](std::size_t t) { fn(i + t); });
+#elif defined(MIGC_SIMD_SSE2)
+    const __m128i k = _mm_set1_epi8(static_cast<char>(key));
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + i));
+        std::uint32_t m = static_cast<std::uint32_t>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(v, k)));
+        while (m) {
+            const std::size_t idx =
+                i + static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            if (data[idx] == key)
+                fn(idx);
+        }
+    }
+    forEachByteEqScalar(data + i, n - i, key,
+                        [&](std::size_t t) { fn(i + t); });
+#elif defined(MIGC_SIMD_NEON)
+    const uint8x16_t k = vdupq_n_u8(key);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t eq = vceqq_u8(vld1q_u8(data + i), k);
+        std::uint64_t m = vget_lane_u64(
+            vreinterpret_u64_u8(
+                vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)),
+            0);
+        while (m) {
+            const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
+            const std::size_t idx = i + bit / 4;
+            m &= ~(0xFull << (bit & ~3u)); // clear this byte's nibble
+            if (data[idx] == key)
+                fn(idx);
+        }
+    }
+    forEachByteEqScalar(data + i, n - i, key,
+                        [&](std::size_t t) { fn(i + t); });
+#else
+    forEachByteEqScalar(data, n, key, static_cast<Fn &&>(fn));
+#endif
+}
+
+} // namespace simd
+} // namespace migc
+
+#endif // MIGC_CACHE_SIMD_HH

@@ -1,17 +1,42 @@
 /**
  * @file
- * Set-associative tag store.
+ * Set-associative tag store, laid out struct-of-arrays.
+ *
+ * The per-block metadata (`CacheBlk`) stays the external currency —
+ * callers hold `CacheBlk *` and read its fields freely — but the
+ * fields the hot paths scan are mirrored into contiguous per-set
+ * lanes so lookups never stride through the 48-byte block structs:
+ *
+ *  - `addrs_`: one 64-bit line address per way (sentinel `kNoAddr`
+ *    for non-present ways), the lane `findBlock` SIMD-compares;
+ *  - `states_`: the packed `BlkState` byte array the full-array
+ *    sweeps (`invalidateClean`, `countState`, `forEachDirty`) scan;
+ *  - `validBits_` / `busyBits_`: one bitmap word per set (way i =
+ *    bit i). valid covers the readable states (valid | dirty), busy
+ *    the fill-pending ways. `busyWays` is a single popcount and
+ *    `findVictim` selects candidates straight off the words;
+ *  - `replStamps_`: the replacement stamp `findVictim`'s
+ *    full-candidate fast path min-scans (lastTouch under LRU,
+ *    insertStamp under FIFO).
+ *
+ * Coherence rule: every state or address change of a resident block
+ * MUST go through this class (`insert`, `setState`,
+ * `invalidateBlock`, `touch`, `invalidateClean`, `reset`) so the
+ * mirrors stay exact. `shadowCoherent()` verifies the invariant and
+ * the test suites call it after randomized and golden runs.
  */
 
 #ifndef MIGC_CACHE_TAGS_HH
 #define MIGC_CACHE_TAGS_HH
 
-#include <functional>
+#include <bit>
 #include <memory>
 #include <vector>
 
 #include "cache/cache_blk.hh"
 #include "cache/repl_policy.hh"
+#include "cache/simd.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace migc
@@ -39,14 +64,37 @@ class Tags
 
     Addr lineAlign(Addr addr) const { return addr & ~lineMask_; }
 
-    unsigned setIndex(Addr addr) const;
+    unsigned
+    setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> setShift_) &
+                                     (numSets_ - 1));
+    }
 
     /** Find the block holding @p addr, or nullptr (any state). */
-    CacheBlk *findBlock(Addr addr);
+    CacheBlk *
+    findBlock(Addr addr)
+    {
+        // One SIMD compare sweep over the set's address lane. Only
+        // present ways hold a real address (non-present ways hold
+        // kNoAddr, which is never line-aligned), so a lane match IS
+        // a tag match and ascending-index selection reproduces the
+        // scalar walk's first-match way exactly.
+        const Addr line = lineAlign(addr);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * assoc_;
+        const unsigned way = simd::findLane(&addrs_[base], assoc_, line);
+        return way < assoc_ ? &blocks_[base + way] : nullptr;
+    }
 
     /** Busy (fill-pending) ways in @p addr's set; feeds the adaptive
-     *  occupancy-bypass policy. */
-    unsigned busyWays(Addr addr);
+     *  occupancy-bypass policy. One popcount on the busy bitmap. */
+    unsigned
+    busyWays(Addr addr) const
+    {
+        return static_cast<unsigned>(
+            std::popcount(busyBits_[setIndex(addr)]));
+    }
 
     /**
      * Choose a victim way in @p addr's set: an invalid block if one
@@ -58,10 +106,65 @@ class Tags
     CacheBlk *findVictim(Addr addr);
 
     /** Record a demand access to @p blk for replacement state. */
-    void touch(CacheBlk *blk);
+    void
+    touch(CacheBlk *blk)
+    {
+        blk->lastTouch = ++stamp_;
+        if (replKind_ != ReplKind::fifo)
+            replStamps_[blockIndex(blk)] = stamp_;
+    }
 
-    /** Install @p addr into @p blk in @p state. */
-    void insert(CacheBlk *blk, Addr addr, BlkState state, Addr insert_pc);
+    /** Install @p addr into @p blk in @p state (never invalid). */
+    void
+    insert(CacheBlk *blk, Addr addr, BlkState state, Addr insert_pc)
+    {
+        panic_if(blk->isBusy(), "inserting over a busy block");
+        panic_if(state == BlkState::invalid,
+                 "inserting an invalid block");
+        const Addr line = lineAlign(addr);
+        blk->addr = line;
+        blk->state = state;
+        blk->insertPc = insert_pc;
+        blk->reused = false;
+        blk->insertStamp = ++stamp_;
+        blk->lastTouch = stamp_;
+
+        const std::size_t i = blockIndex(blk);
+        addrs_[i] = line;
+        states_[i] = static_cast<std::uint8_t>(state);
+        replStamps_[i] = stamp_;
+        setWayBits(i, state);
+    }
+
+    /**
+     * Transition resident @p blk to @p state (valid <-> dirty, or a
+     * fill's busy -> valid/dirty), keeping the packed state array
+     * and the valid/busy bitmaps coherent. Use invalidateBlock() to
+     * leave the cache.
+     */
+    void
+    setState(CacheBlk *blk, BlkState state)
+    {
+        panic_if(state == BlkState::invalid,
+                 "setState(invalid): use invalidateBlock()");
+        panic_if(blk->state == BlkState::invalid,
+                 "setState on a non-resident block");
+        blk->state = state;
+        const std::size_t i = blockIndex(blk);
+        states_[i] = static_cast<std::uint8_t>(state);
+        setWayBits(i, state);
+    }
+
+    /** Invalidate @p blk and drop it from the lookup lanes. */
+    void
+    invalidateBlock(CacheBlk *blk)
+    {
+        blk->invalidate();
+        const std::size_t i = blockIndex(blk);
+        addrs_[i] = kNoAddr;
+        states_[i] = static_cast<std::uint8_t>(BlkState::invalid);
+        setWayBits(i, BlkState::invalid);
+    }
 
     /**
      * Self-invalidate every clean valid block (kernel-boundary
@@ -71,11 +174,31 @@ class Tags
      */
     std::uint64_t invalidateClean();
 
-    /** Visit every dirty block (order: set-major, way-minor). */
-    void forEachDirty(const std::function<void(CacheBlk &)> &fn);
+    /**
+     * Visit every dirty block (order: set-major, way-minor) via a
+     * vector byte-scan of the state array. The callback binds
+     * statically (no std::function) - this sits on the rinse/flush
+     * path. @p fn may change the visited block's state (through
+     * setState/invalidateBlock) but no other block's.
+     */
+    template <typename Fn>
+    void
+    forEachDirty(Fn &&fn)
+    {
+        simd::forEachByteEq(states_.data(), states_.size(),
+                            static_cast<std::uint8_t>(BlkState::dirty),
+                            [&](std::size_t i) { fn(blocks_[i]); });
+    }
 
-    /** Visit all blocks (tests / introspection). */
-    void forEach(const std::function<void(CacheBlk &)> &fn);
+    /** Visit all blocks (tests / introspection). Mutating state or
+     *  address directly from @p fn would desync the SoA mirrors. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &blk : blocks_)
+            fn(blk);
+    }
 
     /** Count blocks in a given state (tests / stats). */
     std::uint64_t countState(BlkState state) const;
@@ -86,6 +209,17 @@ class Tags
      * the block and scratch storage allocated (System::reset()).
      */
     void reset(std::uint64_t seed);
+
+    /**
+     * Verify every SoA mirror against the per-block metadata: the
+     * address lane (including the sentinel padding), the packed
+     * state array, both bitmaps, and the replacement stamp lane.
+     * O(blocks); test and debug hook.
+     */
+    bool shadowCoherent() const;
+
+    /** Vector ISA the tag scans were compiled for. */
+    static const char *simdIsa() { return simd::isaName(); }
 
     // --- set-dueling sample counters ---
     // Tags records where duel cost events land; what a set's role
@@ -108,12 +242,29 @@ class Tags
     }
 
   private:
-    /** First block of the set holding @p addr. */
-    CacheBlk *
-    setBase(Addr addr)
+    /** Address-lane sentinel for non-present ways; never line-
+     *  aligned (line size >= 2), so it can't match a lookup. */
+    static constexpr Addr kNoAddr = ~Addr{0};
+
+    std::size_t
+    blockIndex(const CacheBlk *blk) const
     {
-        return &blocks_[static_cast<std::size_t>(setIndex(addr)) *
-                        assoc_];
+        return static_cast<std::size_t>(blk - blocks_.data());
+    }
+
+    /** Set way @p i's valid/busy bitmap bits for @p state. */
+    void
+    setWayBits(std::size_t i, BlkState state)
+    {
+        const unsigned set = static_cast<unsigned>(i / assoc_);
+        const std::uint64_t bit = 1ULL << (i % assoc_);
+        validBits_[set] = (state == BlkState::valid ||
+                           state == BlkState::dirty)
+                              ? validBits_[set] | bit
+                              : validBits_[set] & ~bit;
+        busyBits_[set] = state == BlkState::busy
+                             ? busyBits_[set] | bit
+                             : busyBits_[set] & ~bit;
     }
 
     unsigned numSets_;
@@ -121,7 +272,19 @@ class Tags
     unsigned lineSize_;
     Addr lineMask_;
     unsigned setShift_;
+    /** All ways of one set, as a bitmap word. */
+    std::uint64_t wayMask_;
+    ReplKind replKind_;
+
+    /** Per-block metadata (the external currency). */
     std::vector<CacheBlk> blocks_;
+    // --- SoA mirrors (see file comment for the coherence rule) ---
+    std::vector<Addr> addrs_; ///< + simd::kLanePad sentinel lanes
+    std::vector<std::uint8_t> states_;
+    std::vector<std::uint64_t> validBits_;
+    std::vector<std::uint64_t> busyBits_;
+    std::vector<std::uint64_t> replStamps_;
+
     std::vector<std::uint16_t> duelSamples_;
     std::unique_ptr<ReplPolicy> repl_;
     std::uint64_t stamp_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace migc
@@ -33,7 +35,7 @@ EventQueue::siftUp(std::size_t i)
 {
     HeapSlot slot = heap_[i];
     while (i > 0) {
-        std::size_t parent = (i - 1) / 2;
+        std::size_t parent = (i - 1) / heapArity;
         if (!before(slot, heap_[parent]))
             break;
         heap_[i] = heap_[parent];
@@ -50,11 +52,18 @@ EventQueue::siftDown(std::size_t i)
     HeapSlot slot = heap_[i];
     const std::size_t n = heap_.size();
     for (;;) {
-        std::size_t child = 2 * i + 1;
-        if (child >= n)
+        const std::size_t first = heapArity * i + 1;
+        if (first >= n)
             break;
-        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
-            ++child;
+        // Pick the earliest-firing child; the lowest index wins ties
+        // through strict before(), matching the binary heap's
+        // sibling pick so the arity only changes internal layout.
+        std::size_t child = first;
+        const std::size_t last = std::min(first + heapArity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[child]))
+                child = c;
+        }
         if (!before(heap_[child], slot))
             break;
         heap_[i] = heap_[child];

@@ -7,12 +7,19 @@
  * tick and priority fire in scheduling order, which makes every
  * simulation bit-reproducible.
  *
- * The queue is an intrusive binary heap over the Event objects
+ * The queue is an intrusive d-ary heap over the Event objects
  * themselves: each event carries its own heap slot index, so
  * scheduling never allocates, descheduling is a true O(log n)
  * removal, and the heap holds exactly the pending events (no stale
  * entries to grow through under reschedule-heavy traffic such as
- * DRAM bank timers).
+ * DRAM bank timers). The arity is the compile-time MIGC_EQ_ARITY (a
+ * CMake cache variable): wider nodes make the tree shallower, so
+ * siftUp — the schedule/deschedule path — does fewer compares, at
+ * the cost of more sibling compares per level on siftDown. 4-ary
+ * wins the synthetic reschedule storm but loses deep-queue drains
+ * and the end-to-end runs (BENCH_micro.json, PR 7), so binary stays
+ * the default. The arity never changes pop order because
+ * (tick, priority, seq) is a strict total order over events.
  */
 
 #ifndef MIGC_SIM_EVENT_QUEUE_HH
@@ -140,9 +147,17 @@ class EventFunctionWrapper : public Event
  * allocation-free (amortized: the slot vector grows like any vector)
  * and the heap size always equals the pending-event count.
  */
+#ifndef MIGC_EQ_ARITY
+#define MIGC_EQ_ARITY 2
+#endif
+
 class EventQueue
 {
   public:
+    /** Children per heap node; see the file comment. */
+    static constexpr std::size_t heapArity = MIGC_EQ_ARITY;
+    static_assert(heapArity >= 2, "heap arity must be >= 2");
+
     EventQueue() { heap_.reserve(64); }
 
     /** Current simulated time. */

@@ -147,6 +147,28 @@ TEST(GoldenDeterminism, ReusedSystemMatchesGoldensThroughResets)
     }
 }
 
+TEST(GoldenDeterminism, SoaTagMirrorsStayCoherentThroughGoldenRuns)
+{
+    // The SoA tag store (PR 7) mirrors block state into address
+    // lanes and bitmaps; after a full golden run every cache's
+    // mirrors must still match its per-block metadata exactly.
+    SimConfig cfg = SimConfig::testConfig();
+    for (const Golden &g : {kGoldens[2], kGoldens[4]}) {
+        SimConfig run_cfg = cfg;
+        run_cfg.seed = runSeedFor(cfg, g.workload, g.policy);
+        System sys(run_cfg, CachePolicy::fromName(g.policy));
+        runWorkloadOn(sys, *makeWorkload(g.workload));
+        for (unsigned i = 0; i < run_cfg.gpu.numCus; ++i) {
+            EXPECT_TRUE(sys.l1(i).tags().shadowCoherent())
+                << g.workload << " L1 " << i;
+        }
+        for (unsigned i = 0; i < sys.numL2Banks(); ++i) {
+            EXPECT_TRUE(sys.l2Bank(i).tags().shadowCoherent())
+                << g.workload << " L2 bank " << i;
+        }
+    }
+}
+
 TEST(GoldenDeterminism, ResetRunHasSameSimEventsAsFreshRun)
 {
     // simEvents feeds the LPT cost model; a reused System's per-run

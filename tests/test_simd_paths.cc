@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Differential coverage for the SIMD hot-path kernels and the SoA
+ * tag store.
+ *
+ * Two layers:
+ *  - kernel differentials: the build-selected simd:: kernels against
+ *    their always-compiled scalar references on randomized inputs
+ *    (padding overhang, absent keys, duplicate keys, the unrolled
+ *    16-lane fast path, mutating callbacks);
+ *  - a randomized trace driven through Tags AND a deliberately naive
+ *    array-of-structs reference model (the pre-PR7 scalar semantics),
+ *    asserting identical block/victim/busy/count results op for op,
+ *    with Tags::shadowCoherent() checked throughout.
+ *
+ * Under -DMIGC_NO_SIMD=ON (the CI scalar leg) the same suite runs
+ * with the kernels compiled scalar, so both sides of every build
+ * configuration stay covered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_blk.hh"
+#include "cache/repl_policy.hh"
+#include "cache/simd.hh"
+#include "cache/tags.hh"
+#include "sim/rng.hh"
+
+using namespace migc;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Kernel differentials
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, IsaNameIsKnown)
+{
+    const std::string isa = simd::isaName();
+    EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" ||
+                isa == "scalar")
+        << isa;
+#if defined(MIGC_NO_SIMD)
+    EXPECT_EQ(isa, "scalar");
+#endif
+}
+
+TEST(SimdKernels, FindLaneMatchesScalarOnRandomArrays)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.below(40));
+        std::vector<std::uint64_t> lanes(n + simd::kLanePad);
+        for (auto &l : lanes)
+            l = rng.below(8); // few distinct values -> frequent dups
+        const std::uint64_t key = rng.below(10); // sometimes absent
+        // Poison the padding with the key: matches in the overhang
+        // must never be returned.
+        for (unsigned p = 0; p < simd::kLanePad; ++p)
+            lanes[n + p] = key;
+        EXPECT_EQ(simd::findLane(lanes.data(), n, key),
+                  simd::findLaneScalar(lanes.data(), n, key))
+            << "n=" << n << " key=" << key;
+    }
+}
+
+TEST(SimdKernels, FindLaneSixteenLaneFastPath)
+{
+    // n == 16 is the default associativity and takes the unrolled
+    // branchless path on the vector ISAs; sweep the match through
+    // every lane plus the no-match case.
+    std::vector<std::uint64_t> lanes(16 + simd::kLanePad, ~0ull);
+    for (unsigned i = 0; i < 16; ++i)
+        lanes[i] = 100 + i;
+    for (unsigned want = 0; want < 16; ++want)
+        EXPECT_EQ(simd::findLane(lanes.data(), 16, 100 + want), want);
+    EXPECT_EQ(simd::findLane(lanes.data(), 16, 999), 16u);
+    // Duplicate key: the lowest lane must win.
+    lanes[3] = lanes[12] = 7;
+    EXPECT_EQ(simd::findLane(lanes.data(), 16, 7), 3u);
+}
+
+TEST(SimdKernels, CountByteEqMatchesScalar)
+{
+    Rng rng(12);
+    for (std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{15},
+          std::size_t{16}, std::size_t{17}, std::size_t{31},
+          std::size_t{32}, std::size_t{100}, std::size_t{4101}}) {
+        std::vector<std::uint8_t> data(n);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(4));
+        for (std::uint8_t key = 0; key < 4; ++key) {
+            EXPECT_EQ(simd::countByteEq(data.data(), n, key),
+                      simd::countByteEqScalar(data.data(), n, key))
+                << "n=" << n << " key=" << unsigned(key);
+        }
+    }
+}
+
+TEST(SimdKernels, ForEachByteEqMatchesScalarOrderAndIndices)
+{
+    Rng rng(13);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = rng.below(200);
+        std::vector<std::uint8_t> data(n);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(3));
+        std::vector<std::size_t> got, want;
+        simd::forEachByteEq(data.data(), n, 1,
+                            [&](std::size_t i) { got.push_back(i); });
+        simd::forEachByteEqScalar(
+            data.data(), n, 1,
+            [&](std::size_t i) { want.push_back(i); });
+        EXPECT_EQ(got, want) << "n=" << n;
+    }
+}
+
+TEST(SimdKernels, ForEachByteEqSupportsMutatingTheVisitedByte)
+{
+    // The flush path flips each visited dirty byte to valid from
+    // inside the callback; every matching byte must still be visited
+    // exactly once, on both kernel variants.
+    Rng rng(14);
+    const std::size_t n = 333;
+    std::vector<std::uint8_t> base(n);
+    for (auto &b : base)
+        b = static_cast<std::uint8_t>(rng.below(2) + 1);
+
+    auto run = [&](bool scalar) {
+        std::vector<std::uint8_t> data = base;
+        std::vector<std::size_t> visits;
+        auto fn = [&](std::size_t i) {
+            visits.push_back(i);
+            data[i] = 9; // no longer matches
+        };
+        if (scalar)
+            simd::forEachByteEqScalar(data.data(), n, 2, fn);
+        else
+            simd::forEachByteEq(data.data(), n, 2, fn);
+        return visits;
+    };
+    const auto simd_visits = run(false);
+    const auto scalar_visits = run(true);
+    EXPECT_EQ(simd_visits, scalar_visits);
+
+    std::vector<std::size_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (base[i] == 2)
+            expect.push_back(i);
+    }
+    EXPECT_EQ(simd_visits, expect);
+}
+
+// ---------------------------------------------------------------------
+// Tags vs. a naive AoS reference model
+// ---------------------------------------------------------------------
+
+/**
+ * The pre-PR7 scalar tag-store semantics, kept deliberately naive:
+ * per-block structs only, linear walks, candidate gather in way
+ * order. Uses its own ReplPolicy instance seeded identically to the
+ * Tags under test, so the random policy's draw streams stay in
+ * lockstep as long as both sides make the same victim() calls.
+ */
+class RefTags
+{
+  public:
+    RefTags(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
+            ReplKind repl, std::uint64_t seed)
+        : assoc_(assoc), lineMask_(line_size - 1),
+          numSets_(static_cast<unsigned>(size_bytes / assoc / line_size)),
+          setShift_(0), repl_(ReplPolicy::create(repl, seed))
+    {
+        for (unsigned s = 1; s < line_size; s <<= 1)
+            ++setShift_;
+        blocks_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    }
+
+    Addr lineAlign(Addr a) const { return a & ~lineMask_; }
+
+    unsigned setIndex(Addr a) const
+    {
+        return static_cast<unsigned>((a >> setShift_) & (numSets_ - 1));
+    }
+
+    /** Way holding @p a, or assoc_ when absent. */
+    unsigned
+    findWay(Addr a) const
+    {
+        const Addr line = lineAlign(a);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(a)) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const CacheBlk &b = blocks_[base + w];
+            if (b.addr == line && b.state != BlkState::invalid)
+                return w;
+        }
+        return assoc_;
+    }
+
+    unsigned
+    busyWays(Addr a) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(a)) * assoc_;
+        unsigned busy = 0;
+        for (unsigned w = 0; w < assoc_; ++w)
+            busy += blocks_[base + w].isBusy();
+        return busy;
+    }
+
+    /** Victim way for @p a, or assoc_ when every way is busy. */
+    unsigned
+    victimWay(Addr a)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(a)) * assoc_;
+        std::vector<CacheBlk *> cands;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            CacheBlk &b = blocks_[base + w];
+            if (b.state == BlkState::invalid)
+                return w;
+            if (!b.isBusy())
+                cands.push_back(&b);
+        }
+        if (cands.empty())
+            return assoc_;
+        CacheBlk *victim = cands[repl_->victim(cands)];
+        return static_cast<unsigned>(victim - &blocks_[base]);
+    }
+
+    CacheBlk &
+    at(Addr a, unsigned way)
+    {
+        return blocks_[static_cast<std::size_t>(setIndex(a)) * assoc_ +
+                       way];
+    }
+
+    void
+    touch(CacheBlk &b)
+    {
+        b.lastTouch = ++stamp_;
+    }
+
+    void
+    insert(CacheBlk &b, Addr a, BlkState state)
+    {
+        b.addr = lineAlign(a);
+        b.state = state;
+        b.reused = false;
+        b.insertStamp = ++stamp_;
+        b.lastTouch = stamp_;
+    }
+
+    std::uint64_t
+    invalidateClean()
+    {
+        std::uint64_t n = 0;
+        for (auto &b : blocks_) {
+            if (b.state == BlkState::valid) {
+                b.invalidate();
+                ++n;
+            }
+        }
+        return n;
+    }
+
+    std::uint64_t
+    countState(BlkState state) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : blocks_)
+            n += b.state == state;
+        return n;
+    }
+
+    std::vector<Addr>
+    dirtyAddrs() const
+    {
+        std::vector<Addr> out;
+        for (const auto &b : blocks_) {
+            if (b.isDirty())
+                out.push_back(b.addr);
+        }
+        return out;
+    }
+
+    void
+    reset(std::uint64_t seed)
+    {
+        for (auto &b : blocks_)
+            b = CacheBlk{};
+        stamp_ = 0;
+        repl_->reset(seed);
+    }
+
+  private:
+    unsigned assoc_;
+    Addr lineMask_;
+    unsigned numSets_;
+    unsigned setShift_;
+    std::unique_ptr<ReplPolicy> repl_;
+    std::vector<CacheBlk> blocks_;
+    std::uint64_t stamp_ = 0;
+};
+
+/** Way index of a Tags-owned block (via the forEach enumeration). */
+class WayIndex
+{
+  public:
+    explicit WayIndex(Tags &tags)
+    {
+        std::size_t i = 0;
+        tags.forEach([&](CacheBlk &b) { index_[&b] = i++; });
+    }
+
+    unsigned
+    way(const Tags &tags, const CacheBlk *blk) const
+    {
+        return static_cast<unsigned>(index_.at(blk) % tags.assoc());
+    }
+
+  private:
+    std::unordered_map<const CacheBlk *, std::size_t> index_;
+};
+
+void
+driveTrace(ReplKind kind, unsigned assoc, std::uint64_t trace_seed)
+{
+    SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
+                 " assoc=" + std::to_string(assoc) +
+                 " seed=" + std::to_string(trace_seed));
+    const std::uint64_t size = 16 * 1024;
+    const unsigned line = 64;
+    const std::uint64_t repl_seed = 77;
+    Tags tags(size, assoc, line, kind, repl_seed);
+    RefTags ref(size, assoc, line, kind, repl_seed);
+    WayIndex ways(tags);
+
+    // 4x the cache footprint: plenty of conflict misses.
+    const std::uint64_t addr_space = 4 * size;
+    Rng rng(trace_seed);
+    auto randAddr = [&] { return rng.below(addr_space); };
+
+    const int ops = 60000;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t what = rng.below(100);
+        if (what < 40) {
+            // Lookup (+ touch on hit).
+            const Addr a = randAddr();
+            CacheBlk *blk = tags.findBlock(a);
+            const unsigned rw = ref.findWay(a);
+            ASSERT_EQ(blk != nullptr, rw < assoc) << "op " << op;
+            if (blk) {
+                ASSERT_EQ(ways.way(tags, blk), rw) << "op " << op;
+                ASSERT_EQ(blk->state, ref.at(a, rw).state);
+                tags.touch(blk);
+                ref.touch(ref.at(a, rw));
+            }
+        } else if (what < 65) {
+            // Allocate: victim select, evict if needed, insert.
+            const Addr a = randAddr();
+            if (tags.findBlock(a) != nullptr) {
+                // Already resident; treat as a hit op instead.
+                continue;
+            }
+            CacheBlk *victim = tags.findVictim(a);
+            const unsigned rw = ref.victimWay(a);
+            ASSERT_EQ(victim != nullptr, rw < assoc) << "op " << op;
+            if (!victim)
+                continue;
+            ASSERT_EQ(ways.way(tags, victim), rw) << "op " << op;
+            if (victim->isValid())
+                tags.invalidateBlock(victim);
+            CacheBlk &rv = ref.at(a, rw);
+            if (rv.isValid())
+                rv.invalidate();
+            const BlkState st =
+                std::array{BlkState::valid, BlkState::dirty,
+                           BlkState::busy}[rng.below(3)];
+            tags.insert(victim, a, st, 0);
+            ref.insert(rv, a, st);
+        } else if (what < 75) {
+            // State transition on a resident block.
+            const Addr a = randAddr();
+            CacheBlk *blk = tags.findBlock(a);
+            const unsigned rw = ref.findWay(a);
+            ASSERT_EQ(blk != nullptr, rw < assoc);
+            if (blk) {
+                const BlkState st = rng.below(2) ? BlkState::valid
+                                                 : BlkState::dirty;
+                tags.setState(blk, st);
+                ref.at(a, rw).state = st;
+            }
+        } else if (what < 82) {
+            // Invalidate a resident block.
+            const Addr a = randAddr();
+            CacheBlk *blk = tags.findBlock(a);
+            const unsigned rw = ref.findWay(a);
+            ASSERT_EQ(blk != nullptr, rw < assoc);
+            if (blk) {
+                tags.invalidateBlock(blk);
+                ref.at(a, rw).invalidate();
+            }
+        } else if (what < 90) {
+            const Addr a = randAddr();
+            ASSERT_EQ(tags.busyWays(a), ref.busyWays(a)) << "op " << op;
+        } else if (what < 94) {
+            for (BlkState st :
+                 {BlkState::invalid, BlkState::valid, BlkState::dirty,
+                  BlkState::busy}) {
+                ASSERT_EQ(tags.countState(st), ref.countState(st));
+            }
+        } else if (what < 97) {
+            ASSERT_EQ(tags.invalidateClean(), ref.invalidateClean());
+        } else if (what < 99) {
+            std::vector<Addr> got;
+            tags.forEachDirty(
+                [&](CacheBlk &b) { got.push_back(b.addr); });
+            ASSERT_EQ(got, ref.dirtyAddrs()) << "op " << op;
+        } else {
+            // Full reset mid-trace; both sides restart their stamps
+            // and replacement RNG from the same seed.
+            const std::uint64_t s = rng.below(1000);
+            tags.reset(s);
+            ref.reset(s);
+        }
+
+        if (op % 1000 == 0) {
+            ASSERT_TRUE(tags.shadowCoherent()) << "op " << op;
+        }
+    }
+    EXPECT_TRUE(tags.shadowCoherent());
+}
+
+TEST(TagsDifferential, LruMatchesReferenceModel)
+{
+    driveTrace(ReplKind::lru, 16, 1);
+    driveTrace(ReplKind::lru, 8, 2); // generic (non-16) findLane path
+}
+
+TEST(TagsDifferential, FifoMatchesReferenceModel)
+{
+    driveTrace(ReplKind::fifo, 16, 3);
+    driveTrace(ReplKind::fifo, 4, 4);
+}
+
+TEST(TagsDifferential, RandomPolicyRngDrawsStayInLockstep)
+{
+    driveTrace(ReplKind::random, 16, 5);
+    driveTrace(ReplKind::random, 8, 6);
+}
+
+TEST(TagsDifferential, FullSetMinScanFastPathPicksLruVictim)
+{
+    // Fill one set completely with known touch order and check the
+    // stamp-lane fast path picks the least-recently-used way.
+    Tags tags(16 * 1024, 16, 64, ReplKind::lru);
+    const Addr set_stride = 64 * 16; // 16 sets
+    std::vector<CacheBlk *> inserted;
+    for (unsigned w = 0; w < 16; ++w) {
+        const Addr a = w * set_stride; // all map to set 0
+        CacheBlk *v = tags.findVictim(a);
+        tags.insert(v, a, BlkState::valid, 0);
+        inserted.push_back(v);
+    }
+    // Touch every way except way 5 (most-recent last).
+    for (unsigned w = 0; w < 16; ++w) {
+        if (w != 5)
+            tags.touch(inserted[w]);
+    }
+    CacheBlk *victim = tags.findVictim(16 * set_stride);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim, inserted[5]);
+    EXPECT_TRUE(tags.shadowCoherent());
+}
+
+} // namespace
