@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "cache/tags.hh"
+#include "core/fleet.hh"
 #include "core/runner.hh"
+#include "core/shard.hh"
 #include "core/sweep_engine.hh"
 #include "core/system.hh"
 #include "policy/cache_policy.hh"
@@ -474,6 +476,48 @@ modelSchedule(const std::vector<RunMetrics> &grid_results, unsigned k)
 }
 
 /**
+ * Deterministic fleet-quality model: replay the grid's measured
+ * per-run costs through the static PR 5 hash partition vs the
+ * work-stealing fleet (core/fleet.hh models) on a k-worker pool with
+ * one 3x straggler - the sweep-level failure mode the elastic fleet
+ * exists to remove. Like the schedule model above, this is built
+ * from sim_events, so it is bit-exact and host-independent.
+ */
+struct FleetMakespanModel
+{
+    unsigned workers;
+    double staticMakespan; ///< event units (straggler-bound)
+    double stealMakespan;  ///< event units
+    double ratio() const
+    {
+        return stealMakespan > 0 ? staticMakespan / stealMakespan
+                                 : 0.0;
+    }
+};
+
+FleetMakespanModel
+modelFleetMakespan(const std::vector<RunMetrics> &grid_results,
+                   unsigned k)
+{
+    // Owners come from the real shardOf hash on the real run keys,
+    // so the static side is exactly the partition PR 5 would fork.
+    auto grid = sweepGrid();
+    std::vector<double> costs;
+    std::vector<unsigned> owners;
+    costs.reserve(grid_results.size());
+    for (std::size_t i = 0; i < grid_results.size(); ++i) {
+        costs.push_back(grid_results[i].simEvents);
+        owners.push_back(shardOf(grid[i].cfg.signature(),
+                                 grid[i].workload, grid[i].policy, k));
+    }
+    std::vector<double> speeds(k, 1.0);
+    speeds[0] = 1.0 / 3.0; // one straggling worker
+    return FleetMakespanModel{
+        k, fleetStaticMakespan(costs, owners, speeds),
+        fleetStealMakespan(costs, speeds)};
+}
+
+/**
  * Warm-cache replay: the grid is fully on disk; each iteration
  * builds a fresh engine (cache load included) and re-requests the
  * whole grid. Zero simulations - this is the "ablation re-run"
@@ -528,7 +572,8 @@ geomeanRate(const std::vector<BenchResult> &results, bool events_only)
 
 std::string
 toJson(const std::vector<BenchResult> &results, double headline,
-       const std::vector<ScheduleModel> &models)
+       const std::vector<ScheduleModel> &models,
+       const std::vector<FleetMakespanModel> &fleet_models)
 {
     std::ostringstream os;
     os << "{\n  \"schema\": 1,\n  \"simd_isa\": \"" << Tags::simdIsa()
@@ -557,6 +602,15 @@ toJson(const std::vector<BenchResult> &results, double headline,
            << sm.fifoMakespan << ", \"lpt_makespan_events\": "
            << sm.lptMakespan << ", \"fifo_over_lpt\": " << sm.ratio()
            << "}" << (i + 1 < models.size() ? ", " : "");
+    }
+    os << "},\n  \"fleet_makespan_model\": {";
+    for (std::size_t i = 0; i < fleet_models.size(); ++i) {
+        const auto &fm = fleet_models[i];
+        os << "\"workers_" << fm.workers
+           << "\": {\"static_makespan_events\": " << fm.staticMakespan
+           << ", \"steal_makespan_events\": " << fm.stealMakespan
+           << ", \"static_over_steal\": " << fm.ratio() << "}"
+           << (i + 1 < fleet_models.size() ? ", " : "");
     }
     os << "},\n  \"headline_events_per_sec\": " << headline << "\n}\n";
     return os.str();
@@ -648,6 +702,26 @@ main(int argc, char **argv)
         modelSchedule(grid_results, 4), modelSchedule(grid_results, 8),
         modelSchedule(grid_results, 16), modelSchedule(grid_results, 24)};
 
+    std::vector<FleetMakespanModel> fleet_models{
+        modelFleetMakespan(grid_results, 4),
+        modelFleetMakespan(grid_results, 8),
+        modelFleetMakespan(grid_results, 16),
+        modelFleetMakespan(grid_results, 24)};
+
+    // Gate the 8-worker straggler ratio as a scenario "rate": the
+    // model is deterministic (sim_events in, event-units out), so
+    // items = ratio x 1000 over one nominal second regresses only
+    // when scheduling or simulation behavior actually changes.
+    {
+        BenchResult r;
+        r.name = "fleet_steal_makespan";
+        r.eventScenario = false;
+        r.items = static_cast<std::uint64_t>(
+            std::llround(fleet_models[1].ratio() * 1000.0));
+        r.seconds = 1.0;
+        results.push_back(r);
+    }
+
     const double headline = geomeanRate(results, true);
 
     for (const auto &r : results) {
@@ -666,6 +740,13 @@ main(int argc, char **argv)
                     "sweep_schedule_model", sm.fifoMakespan,
                     sm.lptMakespan, sm.ratio(), sm.workers);
     }
+    for (const auto &fm : fleet_models) {
+        std::printf("%-32s static %.0f -> steal %.0f event-units "
+                    "(%.2fx faster with a 3x straggler at %u "
+                    "workers)\n",
+                    "fleet_makespan_model", fm.staticMakespan,
+                    fm.stealMakespan, fm.ratio(), fm.workers);
+    }
     std::printf("%-32s %12.0f events/s (geomean of event scenarios)\n",
                 "headline", headline);
 
@@ -675,7 +756,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
             return 2;
         }
-        out << toJson(results, headline, models);
+        out << toJson(results, headline, models, fleet_models);
         std::printf("wrote %s\n", json_path.c_str());
     }
 
@@ -713,6 +794,7 @@ main(int argc, char **argv)
         // records them.
         for (const auto &r : results) {
             if (r.name.rfind("sweep_", 0) != 0 &&
+                r.name.rfind("fleet_", 0) != 0 &&
                 r.name.rfind("tags_", 0) != 0 &&
                 r.name != "busy_bitmap_popcount" &&
                 r.name != "eq_dary_depth" &&

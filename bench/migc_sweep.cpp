@@ -1,20 +1,28 @@
 /**
  * @file
- * migc_sweep: the multi-process sharded sweep driver.
+ * migc_sweep: the elastic multi-process sweep driver.
  *
- * One binary, four roles around one deterministic grid:
+ * One binary, several roles around one deterministic grid:
  *
  *  - single-process: run the grid through the SweepEngine, exactly
  *    like a figure binary (`migc_sweep --grid dynamic`).
- *  - coordinator: `--shards N` fork/execs N local workers (one per
- *    shard index), waits for all of them, then merges their shard
- *    cache files into the canonical cache - byte-identical to the
- *    single-process file.
- *  - worker: `--shards N --shard-index i` simulates only the grid
- *    points shard i owns and writes them to `<cache>.shard<i>`.
- *    External launchers (a cluster, a container fleet) run workers
- *    directly; `--manifest` prints the exact command per shard plus
- *    the join step.
+ *  - fleet coordinator: `--shards N` builds the grid, plans the
+ *    pending run-key list (longest-estimated-job-first, costs from
+ *    prior RunCache rows), serves it as leases over an AF_UNIX
+ *    socket (core/fleet.hh), and fork/execs N local workers that
+ *    lease, simulate, checkpoint, and report until the queue drains;
+ *    then merges the shard caches - byte-identical to the
+ *    single-process file for any worker count, steal schedule, or
+ *    crash history. `--resume` folds partial shard caches into the
+ *    plan first, so only never-checkpointed keys are re-enqueued.
+ *  - fleet worker: `--fleet SOCK --shard-index i` leases ranges from
+ *    the coordinator at SOCK and writes to `<cache>.shard<i>`.
+ *  - listening coordinator: `--listen SOCK --shards N` is the
+ *    coordinator without the forking - workers are started by hand
+ *    or a launcher (what `--manifest` prints); it merges at drain.
+ *  - static worker: `--shards N --shard-index i` (no socket) is the
+ *    coordinator-free hash partition (shard.hh) that every figure
+ *    binary also speaks via MIGC_SHARDS / MIGC_SHARD_INDEX.
  *  - merge: `--shards N --merge` performs just the join - union the
  *    shard files into the canonical cache, dedupe identical rows,
  *    fail loudly on conflicting rows, delete the merged inputs.
@@ -22,7 +30,8 @@
  * The grid is workloads x policies on one configuration; results
  * land in the same RunCache namespaces the figure binaries read, so
  * a sharded cold sweep followed by a merge makes every figure
- * binary's run free. See docs/SWEEPS.md for the workflow.
+ * binary's run free. See docs/SWEEPS.md for the workflows and the
+ * fleet protocol.
  */
 
 #include <sys/wait.h>
@@ -30,6 +39,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +50,7 @@
 #include <vector>
 
 #include "core/experiments.hh"
+#include "core/fleet.hh"
 #include "core/shard.hh"
 #include "core/sim_config.hh"
 #include "core/sweep_engine.hh"
@@ -65,6 +76,16 @@ struct Options
     unsigned jobs = 0;     // threads per process (0 = MIGC_JOBS)
     bool manifest = false;
     bool merge = false;
+
+    // Fleet (elastic lease queue) options.
+    std::string fleetSocket;  // worker: coordinator socket to join
+    std::string listenSocket; // coordinator: serve leases, don't fork
+    bool resume = false;      // fold partial shard caches into plan
+    unsigned leaseSize = 2;   // keys per lease
+    unsigned renewMs = 10000; // lease renew deadline
+    int slowWorkerIndex = -1; // straggler injection (coordinator)
+    unsigned slowWorkerMs = 0;
+    unsigned slowMs = 0;      // straggler injection (this process)
 };
 
 void
@@ -80,16 +101,36 @@ usage(const char *argv0)
         "  --policies x,y,...     override the grid's policy list\n"
         "  --cache PATH           canonical cache file (default:\n"
         "                         MIGC_SWEEP_CACHE or mi_sweep_cache.csv)\n"
-        "  --shards N             split the grid across N processes\n"
-        "  --shard-index I        run as worker I in [0, N) instead of\n"
-        "                         coordinating\n"
-        "  --manifest             print the per-shard worker commands\n"
-        "                         and the join step, then exit\n"
+        "  --shards N             run an N-worker elastic fleet (fork\n"
+        "                         local workers, lease run-key ranges,\n"
+        "                         steal from stragglers, merge at join)\n"
+        "  --shard-index I        run as worker I in [0, N): a fleet\n"
+        "                         worker with --fleet, else the static\n"
+        "                         hash-partition worker\n"
+        "  --fleet SOCK           lease work from the coordinator\n"
+        "                         socket instead of a static slice\n"
+        "  --listen SOCK          coordinate on SOCK without forking\n"
+        "                         workers (start them by hand; see\n"
+        "                         --manifest); merges when drained\n"
+        "  --resume               re-enqueue only keys absent from the\n"
+        "                         canonical cache and the partial\n"
+        "                         <cache>.shard* files of a crashed or\n"
+        "                         interrupted fleet\n"
+        "  --lease-size K         run keys per lease (default 2)\n"
+        "  --renew-ms MS          lease renew deadline (default 10000);\n"
+        "                         a worker silent this long forfeits\n"
+        "                         its lease\n"
+        "  --manifest             print the fleet coordinator + worker\n"
+        "                         commands, then exit\n"
         "  --merge                merge <cache>.shard* into <cache>\n"
         "                         and exit\n"
         "  --jobs J               worker threads per process\n"
+        "  --slow-worker I:MS     testing: fork worker I with an MS ms\n"
+        "                         sleep after every run (straggler)\n"
+        "  --slow-ms MS           testing: this process sleeps MS ms\n"
+        "                         after every run\n"
         "  --help                 this text\n"
-        "\nsee docs/SWEEPS.md for copy-paste sharding workflows\n",
+        "\nsee docs/SWEEPS.md for copy-paste sweep workflows\n",
         argv0);
 }
 
@@ -151,6 +192,30 @@ parseArgs(int argc, char **argv)
                 parseCount("--shard-index", need(i++), 0, 4095));
         } else if (arg == "--jobs") {
             opt.jobs = parseCount("--jobs", need(i++), 1, 4096);
+        } else if (arg == "--fleet") {
+            opt.fleetSocket = need(i++);
+        } else if (arg == "--listen") {
+            opt.listenSocket = need(i++);
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--lease-size") {
+            opt.leaseSize =
+                parseCount("--lease-size", need(i++), 1, 4096);
+        } else if (arg == "--renew-ms") {
+            opt.renewMs =
+                parseCount("--renew-ms", need(i++), 10, 3600000);
+        } else if (arg == "--slow-worker") {
+            const std::string v = need(i++);
+            std::size_t colon = v.find(':');
+            fatal_if(colon == std::string::npos,
+                     "--slow-worker wants INDEX:MS (got %s)",
+                     v.c_str());
+            opt.slowWorkerIndex = static_cast<int>(parseCount(
+                "--slow-worker index", v.substr(0, colon), 0, 4095));
+            opt.slowWorkerMs = parseCount(
+                "--slow-worker ms", v.substr(colon + 1), 1, 600000);
+        } else if (arg == "--slow-ms") {
+            opt.slowMs = parseCount("--slow-ms", need(i++), 1, 600000);
         } else if (arg == "--manifest") {
             opt.manifest = true;
         } else if (arg == "--merge") {
@@ -160,12 +225,34 @@ parseArgs(int argc, char **argv)
             fatal("unknown option %s", arg.c_str());
         }
     }
-    fatal_if(opt.shardIndex >= 0 && opt.shards == 0,
-             "--shard-index needs --shards");
-    fatal_if(opt.shardIndex >= 0 &&
+    fatal_if(opt.shardIndex >= 0 && opt.shards == 0 &&
+                 opt.fleetSocket.empty(),
+             "--shard-index needs --shards (static worker) or "
+             "--fleet (fleet worker)");
+    fatal_if(opt.shardIndex >= 0 && opt.shards > 0 &&
                  static_cast<unsigned>(opt.shardIndex) >= opt.shards,
              "--shard-index %d out of range for --shards %u",
              opt.shardIndex, opt.shards);
+    fatal_if(!opt.fleetSocket.empty() && opt.shardIndex < 0,
+             "--fleet needs --shard-index (it names the worker's "
+             "private shard cache file)");
+    fatal_if(!opt.fleetSocket.empty() && !opt.listenSocket.empty(),
+             "--fleet (worker) and --listen (coordinator) are "
+             "mutually exclusive");
+    fatal_if(!opt.listenSocket.empty() && opt.shardIndex >= 0,
+             "--listen coordinates; it cannot also be worker %d",
+             opt.shardIndex);
+    fatal_if((opt.merge || opt.manifest) &&
+                 (!opt.fleetSocket.empty() ||
+                  !opt.listenSocket.empty()),
+             "--merge/--manifest cannot be combined with "
+             "--fleet/--listen");
+    fatal_if(opt.resume && !opt.fleetSocket.empty(),
+             "--resume is a coordinator option (workers just lease "
+             "whatever the resumed plan still needs)");
+    fatal_if(opt.slowWorkerIndex >= 0 && !opt.listenSocket.empty(),
+             "--slow-worker injects at fork; with --listen, start "
+             "the straggler yourself with --slow-ms");
     return opt;
 }
 
@@ -211,10 +298,11 @@ buildGrid(const Options &opt, const SimConfig &cfg)
     return requests;
 }
 
-/** The worker command line for shard @p index of this invocation. */
+/** The fleet-worker command line for worker @p index. */
 std::vector<std::string>
 workerArgs(const std::string &argv0, const Options &opt,
-           const std::string &cache, unsigned index)
+           const std::string &cache, unsigned index,
+           const std::string &sock)
 {
     std::vector<std::string> args{argv0,
                                   "--grid",
@@ -223,8 +311,8 @@ workerArgs(const std::string &argv0, const Options &opt,
                                   opt.config,
                                   "--cache",
                                   cache,
-                                  "--shards",
-                                  std::to_string(opt.shards),
+                                  "--fleet",
+                                  sock,
                                   "--shard-index",
                                   std::to_string(index)};
     if (!opt.workloads.empty()) {
@@ -238,6 +326,11 @@ workerArgs(const std::string &argv0, const Options &opt,
     if (opt.jobs > 0) {
         args.push_back("--jobs");
         args.push_back(std::to_string(opt.jobs));
+    }
+    if (opt.slowWorkerIndex >= 0 &&
+        static_cast<unsigned>(opt.slowWorkerIndex) == index) {
+        args.push_back("--slow-ms");
+        args.push_back(std::to_string(opt.slowWorkerMs));
     }
     return args;
 }
@@ -295,12 +388,31 @@ selfExePath(const char *argv0)
     return argv0;
 }
 
+/**
+ * The coordinator's socket address. Derived from the cache path so
+ * two fleets on different caches never collide; the pid suffix keeps
+ * repeated runs on one cache apart. sun_path caps AF_UNIX paths at
+ * ~107 bytes, so deep build trees fall back to /tmp.
+ */
+std::string
+fleetSocketPath(const std::string &cache)
+{
+    std::string sock = csprintf("%s.fleet.%d.sock", cache.c_str(),
+                                static_cast<int>(::getpid()));
+    if (sock.size() < 100)
+        return sock;
+    return csprintf("/tmp/migc_fleet_%d.sock",
+                    static_cast<int>(::getpid()));
+}
+
 int
 runSweep(const Options &opt, const std::string &cache, ShardSpec shard)
 {
     SimConfig cfg = makeConfig(opt);
     std::vector<RunRequest> requests = buildGrid(opt, cfg);
     SweepEngine engine(cache, shard);
+    if (opt.slowMs > 0)
+        engine.setInjectedRunDelayMs(opt.slowMs);
     engine.run(requests, opt.jobs);
     engine.flush();
     if (shard.active()) {
@@ -324,55 +436,161 @@ runSweep(const Options &opt, const std::string &cache, ShardSpec shard)
     return 0;
 }
 
+/** Fleet worker: lease run-key ranges until the grid drains. */
 int
-coordinate(const Options &opt, const std::string &cache,
-           const char *argv0)
+runFleetWorker(const Options &opt, const std::string &cache)
+{
+    SimConfig cfg = makeConfig(opt);
+    std::vector<RunRequest> requests = buildGrid(opt, cfg);
+    const unsigned index = static_cast<unsigned>(opt.shardIndex);
+    SweepEngine engine(cache, FleetWorkerSpec{index});
+    if (opt.slowMs > 0)
+        engine.setInjectedRunDelayMs(opt.slowMs);
+    FleetClient client(opt.fleetSocket, index,
+                       gridFingerprint(requests));
+    SweepEngine::FleetRunStats st =
+        engine.runFleet(requests, client, opt.jobs);
+    engine.flush();
+    std::printf("worker %u drained: %llu simulated, %llu from cache, "
+                "%llu leases, %llu stale dones\n",
+                index, static_cast<unsigned long long>(st.runs),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.leases),
+                static_cast<unsigned long long>(st.stale));
+    return 0;
+}
+
+/** The per-worker accounting block of the join summary. */
+void
+printFleetSummary(const FleetServer &server)
+{
+    for (const auto &[worker, st] : server.workerStats()) {
+        std::printf("fleet worker %u: %llu runs, %llu leases "
+                    "(%llu stolen, %llu expired, %llu stale), "
+                    "%.1fs wall\n",
+                    worker,
+                    static_cast<unsigned long long>(st.runs),
+                    static_cast<unsigned long long>(st.leases),
+                    static_cast<unsigned long long>(st.steals),
+                    static_cast<unsigned long long>(st.expired),
+                    static_cast<unsigned long long>(st.staleDones),
+                    st.wallSeconds());
+    }
+}
+
+/**
+ * Fleet coordinator: plan the pending keys, serve leases, run the
+ * workers (forked locally unless @p listen_only), merge at drain.
+ */
+int
+coordinateFleet(const Options &opt, const std::string &cache,
+                const char *argv0, bool listen_only)
 {
     const std::string self = selfExePath(argv0);
+    SimConfig cfg = makeConfig(opt);
+    std::vector<RunRequest> requests = buildGrid(opt, cfg);
+    FleetPlan plan =
+        planFleetSweep(requests, cache, opt.shards, opt.resume);
+    inform("fleet plan: %zu of %zu grid points pending (%zu cached, "
+           "%zu rows recovered from partial shard caches)",
+           plan.pending.size(), requests.size(), plan.cached,
+           plan.resumedRows);
 
-    // The workers all run on this machine: divide the thread budget
-    // between them instead of letting each one claim every core.
-    // sweepJobs() is the budget so MIGC_JOBS still caps the whole
-    // fleet; an explicit --jobs is passed through as given.
-    Options worker_opt = opt;
-    if (worker_opt.jobs == 0)
-        worker_opt.jobs = std::max(1u, sweepJobs() / opt.shards);
-
-    std::vector<pid_t> children;
-    children.reserve(opt.shards);
-    for (unsigned i = 0; i < opt.shards; ++i) {
-        std::vector<std::string> args =
-            workerArgs(self, worker_opt, cache, i);
-        pid_t pid = ::fork();
-        fatal_if(pid < 0, "fork failed for shard %u: %s", i,
-                 std::strerror(errno));
-        if (pid == 0) {
-            std::vector<char *> argvec;
-            argvec.reserve(args.size() + 1);
-            for (std::string &a : args)
-                argvec.push_back(a.data());
-            argvec.push_back(nullptr);
-            ::execv(self.c_str(), argvec.data());
-            std::fprintf(stderr, "exec %s failed: %s\n", self.c_str(),
-                         std::strerror(errno));
-            std::_Exit(127);
-        }
-        children.push_back(pid);
+    if (plan.pending.empty()) {
+        // Nothing to lease; fold in whatever partial shard files a
+        // previous fleet left behind and call it done.
+        printMergeSummary(cache, mergeShardCaches(cache, opt.shards));
+        return 0;
     }
 
-    bool failed = false;
-    for (unsigned i = 0; i < children.size(); ++i) {
-        int status = 0;
-        if (::waitpid(children[i], &status, 0) < 0 ||
-            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            warn("shard %u worker (pid %d) failed (status %d)", i,
-                 static_cast<int>(children[i]), status);
-            failed = true;
+    FleetConfig fcfg;
+    fcfg.leaseSize = opt.leaseSize;
+    fcfg.renewMs = opt.renewMs;
+    const std::string sock = opt.listenSocket.empty()
+                                 ? fleetSocketPath(cache)
+                                 : opt.listenSocket;
+    FleetServer server(sock,
+                       FleetQueue(plan.costs, plan.pending, fcfg),
+                       gridFingerprint(requests));
+    server.start();
+
+    if (listen_only) {
+        inform("fleet coordinator on %s: %zu keys to lease; start "
+               "workers with --fleet %s --shard-index I (I < %u), "
+               "merging when drained",
+               sock.c_str(), plan.pending.size(), sock.c_str(),
+               opt.shards);
+        while (!server.drained()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+    } else {
+        // The workers all run on this machine: divide the thread
+        // budget between them instead of letting each one claim
+        // every core. sweepJobs() is the budget so MIGC_JOBS still
+        // caps the whole fleet; an explicit --jobs passes through.
+        Options worker_opt = opt;
+        if (worker_opt.jobs == 0)
+            worker_opt.jobs = std::max(1u, sweepJobs() / opt.shards);
+
+        std::vector<pid_t> children;
+        children.reserve(opt.shards);
+        for (unsigned i = 0; i < opt.shards; ++i) {
+            std::vector<std::string> args =
+                workerArgs(self, worker_opt, cache, i, sock);
+            pid_t pid = ::fork();
+            fatal_if(pid < 0, "fork failed for worker %u: %s", i,
+                     std::strerror(errno));
+            if (pid == 0) {
+                std::vector<char *> argvec;
+                argvec.reserve(args.size() + 1);
+                for (std::string &a : args)
+                    argvec.push_back(a.data());
+                argvec.push_back(nullptr);
+                ::execv(self.c_str(), argvec.data());
+                std::fprintf(stderr, "exec %s failed: %s\n",
+                             self.c_str(), std::strerror(errno));
+                std::_Exit(127);
+            }
+            children.push_back(pid);
+        }
+
+        // A dead worker is no longer fatal by itself: its lease
+        // expires and the surviving workers absorb the keys. Only an
+        // undrained queue after every worker exited means real loss.
+        unsigned failed = 0;
+        for (unsigned i = 0; i < children.size(); ++i) {
+            int status = 0;
+            if (::waitpid(children[i], &status, 0) < 0 ||
+                !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                warn("fleet worker %u (pid %d) died (status %d); "
+                     "its unfinished leases return to the queue", i,
+                     static_cast<int>(children[i]), status);
+                ++failed;
+            }
+        }
+        if (failed > 0 && !server.drained()) {
+            server.stop();
+            fatal("%u fleet worker%s died with %zu key%s still "
+                  "unfinished; completed runs are checkpointed in "
+                  "the shard caches - re-run with --resume to "
+                  "finish the rest",
+                  failed, failed == 1 ? "" : "s",
+                  server.pendingCount(),
+                  server.pendingCount() == 1 ? "" : "s");
         }
     }
-    fatal_if(failed, "one or more shard workers failed; shard caches "
-                     "left unmerged for inspection");
 
+    fatal_if(!server.drained(),
+             "fleet queue not drained; re-run with --resume");
+    server.stop();
+    printFleetSummary(server);
+    if (server.expiredLeases() > 0) {
+        inform("fleet: %llu lease%s expired and requeued",
+               static_cast<unsigned long long>(
+                   server.expiredLeases()),
+               server.expiredLeases() == 1 ? "" : "s");
+    }
     printMergeSummary(cache, mergeShardCaches(cache, opt.shards));
     return 0;
 }
@@ -391,7 +609,7 @@ main(int argc, char **argv)
     // (shardFromEnv is fatal on malformed or index-less specs).
     // --merge and --manifest only need the shard *count*, so they
     // accept MIGC_SHARDS without an index.
-    if (opt.shards == 0) {
+    if (opt.shards == 0 && opt.fleetSocket.empty()) {
         const char *env_shards = std::getenv("MIGC_SHARDS");
         if ((opt.merge || opt.manifest) && env_shards &&
             env_shards[0] != '\0') {
@@ -408,9 +626,13 @@ main(int argc, char **argv)
     fatal_if(opt.merge && opt.shards == 0, "--merge needs --shards");
     fatal_if(opt.manifest && opt.shards == 0,
              "--manifest needs --shards");
+    fatal_if(!opt.listenSocket.empty() && opt.shards == 0,
+             "--listen needs --shards (the merge scans shard files "
+             "0..N-1, and workers must use indices below N)");
 
     const std::string cache = resolveCachePath(opt);
-    fatal_if(cache.empty() && (opt.shards > 0),
+    fatal_if(cache.empty() &&
+                 (opt.shards > 0 || !opt.fleetSocket.empty()),
              "sharded sweeps need a cache file to merge "
              "(unset MIGC_NO_CACHE or pass --cache)");
 
@@ -421,22 +643,57 @@ main(int argc, char **argv)
 
     if (opt.manifest) {
         const std::string self = selfExePath(argv[0]);
-        std::printf("# one command per shard; run anywhere that "
-                    "shares (or later provides) the cache directory\n");
+        // A stable, pid-free socket name: the printed commands are
+        // for copy-paste, possibly from a file, long after this
+        // process exited.
+        const std::string sock = cache + ".fleet.sock";
+        Options listen_opt = opt;
+        listen_opt.listenSocket = sock;
+        std::printf(
+            "# elastic fleet: start the coordinator first (it owns "
+            "the lease queue\n"
+            "# and merges at drain), then one worker per index on "
+            "the same host:\n");
+        std::vector<std::string> coord{
+            self,           "--grid",  opt.grid,
+            "--config",     opt.config, "--cache",
+            cache,          "--shards", std::to_string(opt.shards),
+            "--listen",     sock};
+        if (!opt.workloads.empty()) {
+            coord.push_back("--workloads");
+            coord.push_back(joinStrings(opt.workloads, ","));
+        }
+        if (!opt.policies.empty()) {
+            coord.push_back("--policies");
+            coord.push_back(joinStrings(opt.policies, ","));
+        }
+        if (opt.resume)
+            coord.push_back("--resume");
+        std::printf("%s\n", shellJoin(coord).c_str());
         for (unsigned i = 0; i < opt.shards; ++i)
-            std::printf("%s\n",
-                        shellJoin(workerArgs(self, opt, cache, i))
-                            .c_str());
-        std::printf("# join step, once every worker has finished:\n"
-                    "%s\n",
-                    shellJoin({self, "--cache", cache, "--shards",
-                               std::to_string(opt.shards), "--merge"})
-                        .c_str());
+            std::printf(
+                "%s\n",
+                shellJoin(workerArgs(self, opt, cache, i, sock))
+                    .c_str());
+        std::printf(
+            "# after a crash, rerun the coordinator line with "
+            "--resume: only keys\n"
+            "# absent from the canonical cache and the partial "
+            "<cache>.shard* files\n"
+            "# are re-enqueued\n");
         return 0;
     }
 
+    if (!opt.fleetSocket.empty())
+        return runFleetWorker(opt, cache);
+
+    if (!opt.listenSocket.empty())
+        return coordinateFleet(opt, cache, argv[0],
+                               /*listen_only=*/true);
+
     if (opt.shards > 0 && opt.shardIndex < 0)
-        return coordinate(opt, cache, argv[0]);
+        return coordinateFleet(opt, cache, argv[0],
+                               /*listen_only=*/false);
 
     ShardSpec shard;
     if (opt.shards > 0) {

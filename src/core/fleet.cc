@@ -1,0 +1,779 @@
+#include "core/fleet.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/serve_protocol.hh"
+#include "sim/logging.hh"
+
+namespace migc
+{
+
+// ---------------------------------------------------------------------
+// FleetQueue
+// ---------------------------------------------------------------------
+
+FleetQueue::FleetQueue(std::vector<double> costs,
+                       std::vector<std::uint32_t> pending,
+                       FleetConfig cfg)
+    : cfg_(cfg), costs_(std::move(costs)), pending_(std::move(pending)),
+      completed_(costs_.size(), false), totalKeys_(pending_.size())
+{
+    if (cfg_.leaseSize == 0)
+        cfg_.leaseSize = 1;
+    for (std::uint32_t key : pending_) {
+        panic_if(key >= costs_.size(),
+                 "fleet pending key %u outside the %zu-point grid",
+                 key, costs_.size());
+    }
+    std::sort(pending_.begin(), pending_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return keyBefore(a, b);
+              });
+    // A duplicate pending key would be granted (and simulated) twice
+    // and then double-counted at completion; the plan step dedupes,
+    // so seeing one here is a caller bug.
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+        panic_if(pending_[i] == pending_[i - 1],
+                 "fleet pending list holds key %u twice", pending_[i]);
+    }
+}
+
+bool
+FleetQueue::keyBefore(std::uint32_t a, std::uint32_t b) const
+{
+    if (costs_[a] != costs_[b])
+        return costs_[a] > costs_[b];
+    return a < b;
+}
+
+void
+FleetQueue::requeue(std::uint32_t key)
+{
+    auto it = std::lower_bound(pending_.begin(), pending_.end(), key,
+                               [this](std::uint32_t lhs,
+                                      std::uint32_t rhs) {
+                                   return keyBefore(lhs, rhs);
+                               });
+    pending_.insert(it, key);
+}
+
+FleetWorkerStats &
+FleetQueue::touch(unsigned worker, std::uint64_t now)
+{
+    FleetWorkerStats &st = stats_[worker];
+    if (st.firstMs == 0 && st.lastMs == 0)
+        st.firstMs = now;
+    st.lastMs = std::max(st.lastMs, now);
+    return st;
+}
+
+void
+FleetQueue::markCompleted(std::uint32_t key, unsigned worker,
+                          std::uint64_t lease_id)
+{
+    completed_[key] = true;
+    ++completedCount_;
+    completions_.push_back(Completion{key, worker, lease_id});
+}
+
+void
+FleetQueue::expire(std::uint64_t now)
+{
+    for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second.deadline >= now) {
+            ++it;
+            continue;
+        }
+        // The worker missed its renew deadline: presume it dead and
+        // put its remaining keys back up for grabs. If it is merely
+        // wedged and later reports a completion, done() still
+        // accepts the row (re-execution is byte-identical), so
+        // expiry can only cost duplicated work, never correctness.
+        for (std::uint32_t key : it->second.keys)
+            requeue(key);
+        stats_[it->second.worker].expired += 1;
+        ++expired_;
+        it = leases_.erase(it);
+    }
+}
+
+FleetGrant
+FleetQueue::lease(unsigned worker, std::uint64_t now)
+{
+    expire(now);
+    FleetWorkerStats &st = touch(worker, now);
+
+    FleetGrant grant;
+    if (drained()) {
+        grant.kind = FleetGrant::Kind::drained;
+        return grant;
+    }
+
+    if (!pending_.empty()) {
+        std::size_t n = std::min(cfg_.leaseSize, pending_.size());
+        grant.kind = FleetGrant::Kind::work;
+        grant.id = nextLease_++;
+        grant.renewMs = cfg_.renewMs;
+        grant.keys.assign(pending_.begin(), pending_.begin() + n);
+        pending_.erase(pending_.begin(), pending_.begin() + n);
+        leases_.emplace(grant.id, Lease{worker, now + cfg_.renewMs,
+                                        grant.keys});
+        st.leases += 1;
+        return grant;
+    }
+
+    // Pending is empty but keys are still outstanding: steal from
+    // the slowest peer - the live lease with the most remaining
+    // estimated cost - by shrinking it. The victim works its keys
+    // front to back (cost-desc grant order), so taking the tail
+    // takes the keys it is least likely to have started; a key it
+    // does finish anyway just comes back as a stale done. Stealing
+    // from one's own lease is allowed: it only happens when a
+    // restarted worker finds its pre-crash lease still ticking, and
+    // reclaiming the tail beats waiting out the deadline.
+    std::uint64_t victim_id = 0;
+    double victim_cost = -1.0;
+    for (const auto &[id, l] : leases_) {
+        if (l.keys.size() < 2)
+            continue; // a single key can't be split
+        double remaining = 0.0;
+        for (std::uint32_t key : l.keys)
+            remaining += costs_[key];
+        if (remaining > victim_cost ||
+            (remaining == victim_cost && id < victim_id)) {
+            victim_cost = remaining;
+            victim_id = id;
+        }
+    }
+    if (victim_id == 0) {
+        // Every outstanding lease is down to its last key: nothing
+        // to split, the worker should ask again shortly (an expiry
+        // or the final completions will resolve the wait).
+        grant.kind = FleetGrant::Kind::wait;
+        grant.waitMs = std::min<std::uint64_t>(
+            std::max<std::uint64_t>(cfg_.renewMs / 4, 1), 100);
+        return grant;
+    }
+
+    Lease &victim = leases_.at(victim_id);
+    std::size_t keep = victim.keys.size() - victim.keys.size() / 2;
+    grant.kind = FleetGrant::Kind::work;
+    grant.id = nextLease_++;
+    grant.renewMs = cfg_.renewMs;
+    grant.stolen = true;
+    grant.keys.assign(victim.keys.begin() + keep, victim.keys.end());
+    victim.keys.resize(keep);
+    leases_.emplace(grant.id,
+                    Lease{worker, now + cfg_.renewMs, grant.keys});
+    st.leases += 1;
+    st.steals += 1;
+    return grant;
+}
+
+bool
+FleetQueue::done(unsigned worker, std::uint64_t id, std::uint32_t key,
+                 std::uint64_t now)
+{
+    expire(now);
+    FleetWorkerStats &st = touch(worker, now);
+
+    if (key >= costs_.size() || completed_[key]) {
+        st.staleDones += 1;
+        return false;
+    }
+
+    auto it = leases_.find(id);
+    if (it != leases_.end() && it->second.worker == worker) {
+        Lease &l = it->second;
+        auto kit = std::find(l.keys.begin(), l.keys.end(), key);
+        if (kit != l.keys.end()) {
+            l.keys.erase(kit);
+            if (l.keys.empty()) {
+                leases_.erase(it);
+            } else {
+                // A completion is the strongest liveness evidence
+                // there is; extend the deadline like a renew.
+                l.deadline = now + cfg_.renewMs;
+            }
+            markCompleted(key, worker, id);
+            st.runs += 1;
+            return true;
+        }
+    }
+
+    // The lease is gone (expired) or the key was stolen out of it,
+    // but the worker really did finish the run and its row is
+    // checkpointed in its shard cache. The result is as good as any
+    // other - re-execution is byte-identical - so retire the key
+    // wherever it currently lives: still pending, or inside another
+    // lease (whose holder will learn at its next renew, and at worst
+    // report a stale done of its own).
+    auto pit = std::find(pending_.begin(), pending_.end(), key);
+    if (pit != pending_.end()) {
+        pending_.erase(pit);
+        markCompleted(key, worker, id);
+        st.runs += 1;
+        return true;
+    }
+    for (auto lit = leases_.begin(); lit != leases_.end(); ++lit) {
+        Lease &l = lit->second;
+        auto kit = std::find(l.keys.begin(), l.keys.end(), key);
+        if (kit == l.keys.end())
+            continue;
+        l.keys.erase(kit);
+        if (l.keys.empty())
+            leases_.erase(lit);
+        markCompleted(key, worker, id);
+        st.runs += 1;
+        return true;
+    }
+
+    // Already retired between our check and now - impossible under
+    // the single caller lock, so this is the completed_[] branch's
+    // domain; count it stale for symmetry.
+    st.staleDones += 1;
+    return false;
+}
+
+FleetQueue::Renewal
+FleetQueue::renew(unsigned worker, std::uint64_t id, std::uint64_t now)
+{
+    expire(now);
+    touch(worker, now);
+
+    Renewal r;
+    auto it = leases_.find(id);
+    if (it == leases_.end() || it->second.worker != worker)
+        return r; // expired or never theirs: ok=false
+    it->second.deadline = now + cfg_.renewMs;
+    r.ok = true;
+    r.keys = it->second.keys;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------
+
+std::uint64_t
+fleetNowMs()
+{
+    using namespace std::chrono;
+    // +1 so the epoch itself is never returned: FleetQueue treats
+    // firstMs == 0 as "never seen".
+    static const steady_clock::time_point t0 = steady_clock::now();
+    return static_cast<std::uint64_t>(
+               duration_cast<milliseconds>(steady_clock::now() - t0)
+                   .count()) +
+           1;
+}
+
+// ---------------------------------------------------------------------
+// FleetServer
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** " k1 k2 ..." with a leading space per key (empty for no keys). */
+std::string
+formatKeys(const std::vector<std::uint32_t> &keys)
+{
+    std::string out;
+    for (std::uint32_t key : keys) {
+        out += ' ';
+        out += std::to_string(key);
+    }
+    return out;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t w = ::write(fd, data.data() + off, data.size() - off);
+        if (w <= 0)
+            return false;
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+FleetServer::FleetServer(std::string socket_path, FleetQueue queue,
+                         std::uint64_t grid_hash)
+    : path_(std::move(socket_path)), queue_(std::move(queue)),
+      gridHash_(grid_hash)
+{}
+
+FleetServer::~FleetServer()
+{
+    stop();
+}
+
+void
+FleetServer::start()
+{
+    listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listener_ < 0, "socket(AF_UNIX): %s",
+             std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatal_if(path_.size() >= sizeof(addr.sun_path),
+             "fleet socket path too long (%zu bytes, max %zu): %s",
+             path_.size(), sizeof(addr.sun_path) - 1, path_.c_str());
+    std::strncpy(addr.sun_path, path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path_.c_str()); // stale socket from a previous run
+    fatal_if(::bind(listener_, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind(%s): %s", path_.c_str(), std::strerror(errno));
+    fatal_if(::listen(listener_, 64) != 0, "listen(%s): %s",
+             path_.c_str(), std::strerror(errno));
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+FleetServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (listener_ >= 0) {
+        // shutdown() alone does not unblock accept() on all kernels;
+        // close() does, and the accept loop treats the resulting
+        // error as the stop signal.
+        ::shutdown(listener_, SHUT_RDWR);
+        ::close(listener_);
+        listener_ = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    ::unlink(path_.c_str());
+}
+
+void
+FleetServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listener_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return;
+        }
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+FleetServer::serveConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string reply = handleLine(buf.substr(0, nl));
+            buf.erase(0, nl + 1);
+            if (!reply.empty() && !writeAll(fd, reply)) {
+                ::close(fd);
+                return;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+std::string
+FleetServer::handleLine(const std::string &line)
+{
+    ServeRequest req = parseServeRequest(line);
+    const std::uint64_t now = fleetNowMs();
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (req.kind) {
+      case ServeRequest::Kind::none:
+        return "";
+      case ServeRequest::Kind::lease: {
+        if (req.gridHash != gridHash_) {
+            // A worker that built a different grid would interpret
+            // every leased index as some other run; refuse loudly.
+            return csprintf("# error: grid fingerprint mismatch "
+                            "(coordinator %llu, worker %llu) - "
+                            "worker flags must rebuild the "
+                            "coordinator's grid exactly\n",
+                            static_cast<unsigned long long>(gridHash_),
+                            static_cast<unsigned long long>(
+                                req.gridHash));
+        }
+        FleetGrant g = queue_.lease(req.worker, now);
+        switch (g.kind) {
+          case FleetGrant::Kind::drained:
+            return "# drained\n";
+          case FleetGrant::Kind::wait:
+            return csprintf("# wait %llu\n",
+                            static_cast<unsigned long long>(g.waitMs));
+          case FleetGrant::Kind::work:
+            return csprintf(
+                "# lease %llu %llu %s%s\n",
+                static_cast<unsigned long long>(g.id),
+                static_cast<unsigned long long>(g.renewMs),
+                g.stolen ? "stolen" : "fresh",
+                formatKeys(g.keys).c_str());
+        }
+        return "# error: unreachable\n";
+      }
+      case ServeRequest::Kind::done:
+        return queue_.done(req.worker, req.leaseId, req.key, now)
+                   ? "# ok\n"
+                   : "# stale\n";
+      case ServeRequest::Kind::renew: {
+        FleetQueue::Renewal r =
+            queue_.renew(req.worker, req.leaseId, now);
+        if (!r.ok)
+            return "# stale\n";
+        return csprintf("# renew %llu%s\n",
+                        static_cast<unsigned long long>(req.leaseId),
+                        formatKeys(r.keys).c_str());
+      }
+      case ServeRequest::Kind::stats:
+        return csprintf(
+            "# fleet total=%zu completed=%zu pending=%zu leased=%zu "
+            "workers=%zu expired=%llu\n",
+            queue_.totalKeys(), queue_.completedCount(),
+            queue_.pendingCount(), queue_.activeLeases(),
+            queue_.workerStats().size(),
+            static_cast<unsigned long long>(queue_.expiredLeases()));
+      case ServeRequest::Kind::error:
+        return csprintf("# error: %s\n", req.error.c_str());
+      default:
+        // get/match/wait/help are serve-layer verbs; a fleet
+        // coordinator has no cache to answer them from.
+        return csprintf("# error: '%s' is a serve verb; the fleet "
+                        "coordinator answers lease/done/renew/stats\n",
+                        serveTokens(line).front().c_str());
+    }
+}
+
+bool
+FleetServer::drained() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.drained();
+}
+
+std::map<unsigned, FleetWorkerStats>
+FleetServer::workerStats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.workerStats();
+}
+
+std::vector<FleetQueue::Completion>
+FleetServer::completions() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.completions();
+}
+
+std::size_t
+FleetServer::pendingCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.pendingCount();
+}
+
+std::uint64_t
+FleetServer::expiredLeases() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.expiredLeases();
+}
+
+// ---------------------------------------------------------------------
+// FleetClient
+// ---------------------------------------------------------------------
+
+FleetClient::FleetClient(std::string socket_path, unsigned worker,
+                         std::uint64_t grid_hash)
+    : worker_(worker), gridHash_(grid_hash)
+{
+    // Workers may be exec'd before the coordinator binds (the
+    // manifest workflow starts them from a shell script): retry for
+    // a few seconds before declaring the coordinator missing.
+    const int max_attempts = 100;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        fatal_if(fd < 0, "socket(AF_UNIX): %s", std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        fatal_if(socket_path.size() >= sizeof(addr.sun_path),
+                 "fleet socket path too long (%zu bytes, max %zu): %s",
+                 socket_path.size(), sizeof(addr.sun_path) - 1,
+                 socket_path.c_str());
+        std::strncpy(addr.sun_path, socket_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            break;
+        }
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    fatal_if(fd_ < 0,
+             "could not reach the fleet coordinator at %s after %d "
+             "attempts",
+             socket_path.c_str(), max_attempts);
+    renewer_ = std::thread([this] { renewLoop(); });
+}
+
+FleetClient::~FleetClient()
+{
+    {
+        std::lock_guard<std::mutex> lk(leaseMu_);
+        stopRenewer_ = true;
+    }
+    leaseCv_.notify_all();
+    if (renewer_.joinable())
+        renewer_.join();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+FleetClient::transact(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(txnMu_);
+    fatal_if(!writeAll(fd_, line),
+             "fleet coordinator connection lost (write)");
+    std::size_t nl;
+    while ((nl = rxBuf_.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        fatal_if(n <= 0, "fleet coordinator connection lost (read)");
+        rxBuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string reply = rxBuf_.substr(0, nl);
+    rxBuf_.erase(0, nl + 1);
+    return reply;
+}
+
+FleetGrant
+FleetClient::lease()
+{
+    for (;;) {
+        std::string reply = transact(csprintf(
+            "lease %u %llu\n", worker_,
+            static_cast<unsigned long long>(gridHash_)));
+        std::vector<std::string> tok = serveTokens(reply);
+        fatal_if(tok.size() < 2 || tok[0] != "#",
+                 "malformed fleet reply: %s", reply.c_str());
+        if (tok[1] == "drained") {
+            FleetGrant g;
+            g.kind = FleetGrant::Kind::drained;
+            return g;
+        }
+        if (tok[1] == "wait") {
+            std::uint64_t ms =
+                tok.size() > 2 ? std::strtoull(tok[2].c_str(),
+                                               nullptr, 10)
+                               : 50;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::max<std::uint64_t>(
+                    1, std::min<std::uint64_t>(ms, 1000))));
+            continue;
+        }
+        fatal_if(tok[1] != "lease" || tok.size() < 5,
+                 "malformed fleet reply: %s", reply.c_str());
+        FleetGrant g;
+        g.kind = FleetGrant::Kind::work;
+        g.id = std::strtoull(tok[2].c_str(), nullptr, 10);
+        g.renewMs = std::strtoull(tok[3].c_str(), nullptr, 10);
+        g.stolen = tok[4] == "stolen";
+        for (std::size_t i = 5; i < tok.size(); ++i) {
+            g.keys.push_back(static_cast<std::uint32_t>(
+                std::strtoul(tok[i].c_str(), nullptr, 10)));
+        }
+        fatal_if(g.keys.empty(), "fleet lease granted zero keys: %s",
+                 reply.c_str());
+        ++leasesTaken_;
+        {
+            std::lock_guard<std::mutex> lk(leaseMu_);
+            activeLease_ = g.id;
+            renewMs_ = std::max<std::uint64_t>(g.renewMs, 3);
+            owned_.clear();
+            owned_.insert(g.keys.begin(), g.keys.end());
+            leaseStale_ = false;
+        }
+        leaseCv_.notify_all();
+        return g;
+    }
+}
+
+bool
+FleetClient::done(std::uint64_t id, std::uint32_t key)
+{
+    std::string reply = transact(csprintf(
+        "done %u %llu %u\n", worker_,
+        static_cast<unsigned long long>(id), key));
+    {
+        std::lock_guard<std::mutex> lk(leaseMu_);
+        if (id == activeLease_)
+            owned_.erase(key);
+    }
+    return reply == "# ok";
+}
+
+bool
+FleetClient::ownedNow(std::uint64_t id, std::uint32_t key) const
+{
+    std::lock_guard<std::mutex> lk(leaseMu_);
+    return !leaseStale_ && id == activeLease_ &&
+           owned_.count(key) != 0;
+}
+
+void
+FleetClient::finishLease()
+{
+    std::lock_guard<std::mutex> lk(leaseMu_);
+    activeLease_ = 0;
+    owned_.clear();
+}
+
+void
+FleetClient::renewLoop()
+{
+    std::unique_lock<std::mutex> lk(leaseMu_);
+    for (;;) {
+        if (stopRenewer_)
+            return;
+        if (activeLease_ == 0 || leaseStale_) {
+            leaseCv_.wait(lk);
+            continue;
+        }
+        const std::uint64_t id = activeLease_;
+        const auto interval =
+            std::chrono::milliseconds(std::max<std::uint64_t>(
+                1, renewMs_ / 3));
+        leaseCv_.wait_for(lk, interval);
+        if (stopRenewer_)
+            return;
+        if (activeLease_ != id || leaseStale_)
+            continue;
+        // Transact without the lease lock (done() also takes it).
+        lk.unlock();
+        std::string reply = transact(csprintf(
+            "renew %u %llu\n", worker_,
+            static_cast<unsigned long long>(id)));
+        std::vector<std::string> tok = serveTokens(reply);
+        lk.lock();
+        if (activeLease_ != id)
+            continue; // lease changed under us; reply is moot
+        if (tok.size() >= 2 && tok[1] == "renew") {
+            // The reply's key list is authoritative: drop anything
+            // the coordinator stole since the last exchange.
+            std::set<std::uint32_t> still;
+            for (std::size_t i = 3; i < tok.size(); ++i) {
+                still.insert(static_cast<std::uint32_t>(
+                    std::strtoul(tok[i].c_str(), nullptr, 10)));
+            }
+            std::set<std::uint32_t> kept;
+            for (std::uint32_t key : owned_) {
+                if (still.count(key))
+                    kept.insert(key);
+            }
+            owned_.swap(kept);
+        } else {
+            // "# stale" (or noise): the lease expired server-side;
+            // stop running its keys and let the main loop fetch a
+            // fresh lease.
+            leaseStale_ = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Makespan models
+// ---------------------------------------------------------------------
+
+double
+fleetStaticMakespan(const std::vector<double> &costs,
+                    const std::vector<unsigned> &owners,
+                    const std::vector<double> &speeds)
+{
+    panic_if(costs.size() != owners.size(),
+             "fleetStaticMakespan: %zu costs vs %zu owners",
+             costs.size(), owners.size());
+    std::vector<double> load(speeds.size(), 0.0);
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        panic_if(owners[i] >= speeds.size(),
+                 "fleetStaticMakespan: owner %u outside %zu workers",
+                 owners[i], speeds.size());
+        load[owners[i]] += costs[i];
+    }
+    double makespan = 0.0;
+    for (std::size_t w = 0; w < speeds.size(); ++w) {
+        panic_if(speeds[w] <= 0.0, "worker speed must be positive");
+        makespan = std::max(makespan, load[w] / speeds[w]);
+    }
+    return makespan;
+}
+
+double
+fleetStealMakespan(std::vector<double> costs,
+                   const std::vector<double> &speeds)
+{
+    panic_if(speeds.empty(), "fleetStealMakespan needs >= 1 worker");
+    // Longest job first, each to the worker that finishes it
+    // earliest given current load - the schedule an idle worker
+    // pulling leases (and stealing when the queue drains) converges
+    // to, evaluated deterministically.
+    std::sort(costs.begin(), costs.end(), std::greater<double>());
+    std::vector<double> finish(speeds.size(), 0.0);
+    for (double cost : costs) {
+        std::size_t best = 0;
+        double best_t = 0.0;
+        for (std::size_t w = 0; w < speeds.size(); ++w) {
+            panic_if(speeds[w] <= 0.0, "worker speed must be positive");
+            double t = finish[w] + cost / speeds[w];
+            if (w == 0 || t < best_t) {
+                best = w;
+                best_t = t;
+            }
+        }
+        finish[best] = best_t;
+    }
+    return *std::max_element(finish.begin(), finish.end());
+}
+
+} // namespace migc

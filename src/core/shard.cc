@@ -5,9 +5,13 @@
 #include <fstream>
 #include <vector>
 
+#include <map>
+#include <tuple>
+
 #include "core/sweep_engine.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "workloads/workload.hh"
 
 namespace migc
 {
@@ -133,6 +137,57 @@ mergeShardCaches(const std::string &base, unsigned shards)
     for (const std::string &path : merged)
         std::remove(path.c_str());
     return stats;
+}
+
+FleetPlan
+planFleetSweep(const std::vector<RunRequest> &requests,
+               const std::string &cache, unsigned shards, bool resume)
+{
+    fatal_if(shards < 1, "cannot plan a fleet of zero workers");
+
+    // Memory-only probe cache: union the canonical file (and, on
+    // resume, the partial shard files) without ever writing - the
+    // shard files must stay on disk untouched until the join merge
+    // consumes them.
+    RunCache probe{std::string()};
+    if (!cache.empty())
+        probe.mergeFile(cache);
+
+    FleetPlan plan;
+    plan.costs.assign(requests.size(), 0.0);
+    if (!cache.empty() && resume) {
+        std::size_t before = probe.size();
+        for (unsigned i = 0; i < shards; ++i)
+            probe.mergeFile(shardCachePath(cache, i));
+        plan.resumedRows = probe.size() - before;
+    }
+
+    std::map<std::tuple<std::string, std::string, std::string>, bool>
+        seen;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const RunRequest &req = requests[i];
+        const std::string sig = req.cfg.signature();
+        if (probe.find(sig, req.workload, req.policy) != nullptr) {
+            ++plan.cached;
+            continue;
+        }
+        // Duplicate grid points lease (and simulate) once; the
+        // result answers every copy at replay time.
+        if (!seen.emplace(std::make_tuple(sig, req.workload,
+                                          req.policy),
+                          true)
+                 .second)
+            continue;
+        double est = probe.estimateEvents(req.workload, req.policy);
+        if (est <= 0.0) {
+            est = static_cast<double>(
+                makeWorkload(req.workload)
+                    ->footprintBytes(req.cfg.workloadScale));
+        }
+        plan.costs[i] = est;
+        plan.pending.push_back(static_cast<std::uint32_t>(i));
+    }
+    return plan;
 }
 
 } // namespace migc

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 // parseBoundedUnsigned - the shared validator behind MIGC_SHARDS /
 // MIGC_SHARD_INDEX / MIGC_JOBS and migc_sweep's count flags - lives
@@ -115,6 +116,45 @@ struct ShardMergeStats
  */
 ShardMergeStats mergeShardCaches(const std::string &base,
                                  unsigned shards);
+
+struct RunRequest; // core/sweep_engine.hh
+
+/**
+ * What a fleet coordinator knows before the first lease: which grid
+ * indices still need simulating, and what each one is expected to
+ * cost. Built by planFleetSweep().
+ */
+struct FleetPlan
+{
+    /** Grid indices with no cached row yet (deduplicated; the
+     *  FleetQueue serves them longest-estimate-first). */
+    std::vector<std::uint32_t> pending;
+
+    /** Scheduler cost estimate per grid index (sim_events of a prior
+     *  run of the same (workload, policy), falling back to the
+     *  workload-footprint heuristic - the same ladder run() uses). */
+    std::vector<double> costs;
+
+    /** Grid points already satisfied by the canonical cache (or, on
+     *  resume, a partial shard cache). */
+    std::size_t cached = 0;
+
+    /** Rows recovered from partial shard files (resume only). */
+    std::size_t resumedRows = 0;
+};
+
+/**
+ * The coordinator's resume-aware grid scan: load the canonical cache
+ * at @p cache (memory-only - nothing is written), plus, when
+ * @p resume is set, every existing partial shard file of it (left on
+ * disk; the join merge consumes them later), then classify each of
+ * @p requests as cached or pending and estimate pending costs.
+ * `--resume` is exactly this with the shard files folded in: only
+ * the keys a crashed fleet never checkpointed come back pending.
+ */
+FleetPlan planFleetSweep(const std::vector<RunRequest> &requests,
+                         const std::string &cache, unsigned shards,
+                         bool resume);
 
 } // namespace migc
 

@@ -11,11 +11,16 @@
 #include <thread>
 #include <tuple>
 
+#include <chrono>
+#include <condition_variable>
+
+#include "core/fleet.hh"
 #include "core/runner.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "sim/names.hh"
 #include "sim/parallel.hh"
+#include "sim/rng.hh"
 #include "workloads/workload.hh"
 
 namespace migc
@@ -91,8 +96,18 @@ RunCache::mergeFromFile(const std::string &path,
     if (!in)
         return stats;
     std::string line;
-    if (!std::getline(in, line))
-        return stats;
+    // Scan past blank lines for the format tag; running out of lines
+    // first means the file is empty. A zero-length shard file is a
+    // legitimate empty cache, not a corrupt one - a fleet worker
+    // SIGKILL'd before its first checkpoint can leave one behind,
+    // and its slice must merge as zero rows: no parse error, no
+    // format warning, nothing for the coordinator join to trip on.
+    for (;;) {
+        if (!std::getline(in, line))
+            return stats;
+        if (!line.empty() && line != "\r")
+            break;
+    }
 
     std::string sig;
     bool in_section = false;
@@ -345,6 +360,21 @@ RunCache::size() const
     return n;
 }
 
+std::uint64_t
+gridFingerprint(const std::vector<RunRequest> &requests)
+{
+    // Chain the per-key hashes so order matters: leases are indices
+    // into the vector, and two grids with the same keys in a
+    // different order are NOT interchangeable.
+    std::uint64_t h = fnv1a("migc-fleet-grid") ^
+                      splitmix64(requests.size());
+    for (const RunRequest &req : requests) {
+        h = splitmix64(h ^ runKeyHash(req.cfg.signature(),
+                                      req.workload, req.policy));
+    }
+    return h;
+}
+
 // ---------------------------------------------------------------------
 // SweepEngine
 // ---------------------------------------------------------------------
@@ -376,6 +406,25 @@ SweepEngine::SweepEngine(std::string cache_path, ShardSpec shard)
     // it in every shard instead of being resimulated by their
     // owner, while the writable shard file stays limited to this
     // worker's own fresh rows.
+    warm_.mergeFile(cache_path);
+}
+
+SweepEngine::SweepEngine(std::string cache_path, FleetWorkerSpec fleet)
+    // shard_ stays inactive: a fleet worker owns whatever the
+    // coordinator leases it, not a fixed hash slice.
+    : cache_(cache_path.empty()
+                 ? cache_path
+                 : shardCachePath(cache_path, fleet.index))
+{
+    if (cache_path.empty()) {
+        warn("fleet worker %u with the cache disabled: its results "
+             "stay in memory and cannot be merged",
+             fleet.index);
+        return;
+    }
+    // Same warm-start as a static shard worker: canonical rows
+    // replay from the read-only side store, the writable shard file
+    // holds only this worker's fresh rows.
     warm_.mergeFile(cache_path);
 }
 
@@ -485,7 +534,14 @@ SweepEngine::runJob(const Job &job, std::unique_ptr<System> &sys,
 
     auto wl = makeWorkload(req.workload);
     sims_.fetch_add(1, std::memory_order_relaxed);
-    return runWorkloadOn(*sys, *wl);
+    RunMetrics m = runWorkloadOn(*sys, *wl);
+    if (slowMs_ > 0) {
+        // Straggler injection (setInjectedRunDelayMs): stretch wall
+        // clock only, after the metrics are computed.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(slowMs_));
+    }
+    return m;
 }
 
 std::vector<RunMetrics>
@@ -639,6 +695,161 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
         results.push_back(*m);
     }
     return results;
+}
+
+SweepEngine::FleetRunStats
+SweepEngine::runFleet(const std::vector<RunRequest> &requests,
+                      FleetClient &client, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = sweepJobs();
+    if (jobs == 0)
+        jobs = 1;
+
+    FleetRunStats stats;
+    std::mutex stats_mu;
+
+    // Leased keys flow through a small channel to a persistent
+    // thread pool, so worker Systems stay warm across leases the
+    // same way run()'s pool keeps them warm across jobs.
+    std::mutex qmu;
+    std::condition_variable qcv;   // work arrived / closed
+    std::condition_variable idle;  // lease fully processed
+    std::deque<std::pair<std::uint64_t, std::uint32_t>> work;
+    std::size_t inflight = 0;
+    bool closed = false;
+
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    auto processKey = [&](std::uint64_t id, std::uint32_t key,
+                          std::unique_ptr<System> &sys,
+                          std::string &sys_structure) {
+        panic_if(static_cast<std::size_t>(key) >= requests.size(),
+                 "fleet lease key %u outside the %zu-point grid",
+                 key, requests.size());
+        if (!client.ownedNow(id, key))
+            return; // stolen (or the lease went stale): not ours
+        const RunRequest &req = requests[key];
+        const std::string sig = req.cfg.signature();
+        bool cached;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            cached =
+                findCached(sig, req.workload, req.policy) != nullptr;
+        }
+        if (cached) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            Job job{&req, sig, 0.0, key};
+            RunMetrics m = runJob(job, sys, sys_structure);
+            std::lock_guard<std::mutex> lk(mu_);
+            cache_.insert(sig, std::move(m));
+            // Checkpoint before reporting done: the coordinator
+            // retires a key on `done`, so the row must already be
+            // durable in the shard cache - this ordering is the
+            // whole crash-safety contract.
+            cache_.flush();
+        }
+        bool fresh = client.done(id, key);
+        std::lock_guard<std::mutex> lk(stats_mu);
+        if (cached)
+            ++stats.hits;
+        else
+            ++stats.runs;
+        if (!fresh)
+            ++stats.stale;
+    };
+
+    auto workerFn = [&] {
+        std::unique_ptr<System> sys;
+        std::string sys_structure;
+        for (;;) {
+            std::pair<std::uint64_t, std::uint32_t> item;
+            {
+                std::unique_lock<std::mutex> lk(qmu);
+                qcv.wait(lk,
+                         [&] { return closed || !work.empty(); });
+                if (work.empty())
+                    return; // closed and drained
+                item = work.front();
+                work.pop_front();
+                ++inflight;
+            }
+            try {
+                processKey(item.first, item.second, sys,
+                           sys_structure);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lk(qmu);
+                work.clear();
+                closed = true;
+                --inflight;
+                qcv.notify_all();
+                idle.notify_all();
+                return;
+            }
+            {
+                std::lock_guard<std::mutex> lk(qmu);
+                --inflight;
+            }
+            idle.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(workerFn);
+
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(qmu);
+            if (closed)
+                break; // a worker hit an error
+        }
+        FleetGrant grant = client.lease();
+        if (grant.kind == FleetGrant::Kind::drained)
+            break;
+        {
+            std::lock_guard<std::mutex> lk(stats_mu);
+            ++stats.leases;
+        }
+        {
+            std::lock_guard<std::mutex> lk(qmu);
+            for (std::uint32_t key : grant.keys)
+                work.emplace_back(grant.id, key);
+        }
+        qcv.notify_all();
+        // One lease at a time: wait for this one to be fully
+        // processed (the renewer keeps it alive throughout) before
+        // asking for the next, so the coordinator's remaining-cost
+        // picture stays honest for steal decisions.
+        {
+            std::unique_lock<std::mutex> lk(qmu);
+            idle.wait(lk, [&] {
+                return closed || (work.empty() && inflight == 0);
+            });
+        }
+        client.finishLease();
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(qmu);
+        closed = true;
+    }
+    qcv.notify_all();
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+
+    flush();
+    return stats;
 }
 
 void

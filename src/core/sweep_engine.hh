@@ -59,6 +59,7 @@ namespace migc
 {
 
 class System;
+class FleetClient;
 
 /**
  * The canonical cache path a default-constructed engine uses:
@@ -75,6 +76,30 @@ struct RunRequest
     SimConfig cfg;
     std::string workload;
     std::string policy;
+};
+
+/**
+ * Stable fingerprint of a request grid: a hash over every run key in
+ * order, plus the count. A fleet coordinator and its workers build
+ * the grid independently from identical flags; leases then carry
+ * plain indices into that vector, and this fingerprint (sent with
+ * every `lease` request) is what catches a worker whose flags built
+ * a different grid before it misinterprets a single index.
+ */
+std::uint64_t gridFingerprint(const std::vector<RunRequest> &requests);
+
+/**
+ * Tag selecting SweepEngine's fleet-worker constructor: like a
+ * ShardSpec worker it writes fresh rows to the private
+ * shardCachePath(cache, index) file and warm-imports the canonical
+ * cache, but it owns no fixed slice - the coordinator's leases
+ * decide what it runs, so the key-hash filter stays off.
+ */
+struct FleetWorkerSpec
+{
+    /** This worker's index: names its shard cache file and
+     *  identifies it in the coordinator's accounting. */
+    unsigned index = 0;
 };
 
 /**
@@ -315,6 +340,13 @@ class SweepEngine
      */
     SweepEngine(std::string cache_path, ShardSpec shard);
 
+    /**
+     * Fleet-worker engine (see FleetWorkerSpec): writes to the
+     * private shard cache of @p fleet.index, warm-imports the
+     * canonical cache, simulates exactly what runFleet() leases.
+     */
+    SweepEngine(std::string cache_path, FleetWorkerSpec fleet);
+
     ~SweepEngine();
 
     SweepEngine(const SweepEngine &) = delete;
@@ -336,6 +368,37 @@ class SweepEngine
      */
     std::vector<RunMetrics> run(const std::vector<RunRequest> &requests,
                                 unsigned jobs = 0);
+
+    /** What one runFleet() session amounted to (worker side). */
+    struct FleetRunStats
+    {
+        std::uint64_t runs = 0;     ///< keys simulated here
+        std::uint64_t hits = 0;     ///< keys answered from cache
+        std::uint64_t stale = 0;    ///< completions a peer beat
+        std::uint64_t leases = 0;   ///< leases taken
+    };
+
+    /**
+     * Fleet-worker main loop: lease run-key ranges from @p client
+     * until the coordinator reports the grid drained, simulating
+     * each leased index of @p requests on up to @p jobs threads
+     * (0 = MIGC_JOBS / hardware default). Every completed run is
+     * checkpointed to the shard cache *before* it is reported done,
+     * so a worker killed at any instant leaves every reported key on
+     * disk - the crash-safety half of the lease protocol. Keys the
+     * coordinator stole (observed at renew) are skipped without
+     * simulating.
+     */
+    FleetRunStats runFleet(const std::vector<RunRequest> &requests,
+                           FleetClient &client, unsigned jobs = 0);
+
+    /**
+     * Testing/CI knob: sleep this long after every simulated run,
+     * making this worker an artificial straggler so steal/expiry
+     * paths trigger deterministically on fast grids. Sleeping never
+     * changes metrics - only wall clock.
+     */
+    void setInjectedRunDelayMs(unsigned ms) { slowMs_ = ms; }
 
     /** Persist any un-checkpointed results now. */
     void flush();
@@ -404,6 +467,9 @@ class SweepEngine
     mutable std::mutex mu_;
     ShardSpec shard_;
     RunCache cache_;
+
+    /** Injected per-run straggler delay (setInjectedRunDelayMs). */
+    unsigned slowMs_ = 0;
 
     /**
      * Read-only results imported from the canonical cache when this

@@ -36,6 +36,25 @@ badRequest(std::string message)
     return req;
 }
 
+/** Strict decimal uint64: the whole token, no sign, no overflow. */
+bool
+parseU64(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
 } // namespace
 
 ServeRequest
@@ -70,6 +89,55 @@ parseServeRequest(const std::string &line)
                                     : ServeRequest::Kind::help;
         return req;
     }
+    if (verb == "lease" || verb == "done" || verb == "renew") {
+        // Fleet verbs (core/fleet.hh):
+        //   lease <worker> <gridhash>
+        //   done <worker> <leaseid> <key>
+        //   renew <worker> <leaseid>
+        const std::size_t want = verb == "done" ? 4 : 3;
+        if (tok.size() != want) {
+            return badRequest(csprintf(
+                "%s takes exactly %zu operands (got %zu; try: help)",
+                verb.c_str(), want - 1, tok.size() - 1));
+        }
+        std::uint64_t worker = 0;
+        if (!parseU64(tok[1], worker) || worker > 4095) {
+            return badRequest(csprintf(
+                "%s: worker index '%s' is not an integer in "
+                "[0, 4095]",
+                verb.c_str(), tok[1].c_str()));
+        }
+        req.worker = static_cast<unsigned>(worker);
+        if (verb == "lease") {
+            if (!parseU64(tok[2], req.gridHash)) {
+                return badRequest(csprintf(
+                    "lease: grid fingerprint '%s' is not a decimal "
+                    "uint64",
+                    tok[2].c_str()));
+            }
+            req.kind = ServeRequest::Kind::lease;
+            return req;
+        }
+        if (!parseU64(tok[2], req.leaseId)) {
+            return badRequest(csprintf(
+                "%s: lease id '%s' is not a decimal uint64",
+                verb.c_str(), tok[2].c_str()));
+        }
+        if (verb == "renew") {
+            req.kind = ServeRequest::Kind::renew;
+            return req;
+        }
+        std::uint64_t key = 0;
+        if (!parseU64(tok[3], key) || key > UINT32_MAX) {
+            return badRequest(csprintf(
+                "done: grid index '%s' is not an integer in "
+                "[0, 2^32)",
+                tok[3].c_str()));
+        }
+        req.key = static_cast<std::uint32_t>(key);
+        req.kind = ServeRequest::Kind::done;
+        return req;
+    }
     return badRequest(csprintf(
         "unknown command '%s' (try: help)", verb.c_str()));
 }
@@ -93,7 +161,12 @@ serveHelpText()
         "signature;\n"
         "# match also globs over signatures. Rows are v3 cache CSV, "
         "status lines\n"
-        "# start with '#'.\n";
+        "# start with '#'.\n"
+        "# lease/done/renew are fleet-coordinator verbs (migc_sweep; "
+        "see\n"
+        "# docs/SWEEPS.md): they share this wire format but are "
+        "answered only\n"
+        "# by a sweep coordinator socket, never by migc_serve.\n";
 }
 
 } // namespace migc

@@ -10,6 +10,15 @@
  *   wait                                 block until misses drain
  *   help                                 protocol summary
  *
+ * The elastic shard fleet (core/fleet.hh) reuses this layer for its
+ * coordinator socket; its verbs parse here too, and each side
+ * rejects the other's verbs at dispatch (a serve cache cannot grant
+ * leases, a fleet coordinator has no rows to `get`):
+ *
+ *   lease <worker> <gridhash>            request a run-key range
+ *   done <worker> <leaseid> <key>        report one completed key
+ *   renew <worker> <leaseid>             extend the lease deadline
+ *
  * Blank lines and lines starting with '#' are ignored (so a cache
  * file or a recorded session can be replayed as input). Responses
  * are newline-delimited too: result rows are raw RunMetrics CSV
@@ -24,6 +33,7 @@
 #ifndef MIGC_SERVE_SERVE_PROTOCOL_HH
 #define MIGC_SERVE_SERVE_PROTOCOL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +52,9 @@ struct ServeRequest
         wait,
         help,
         error, ///< unparseable; `error` holds the message
+        lease, ///< fleet: request a run-key range
+        done,  ///< fleet: report one completed key
+        renew, ///< fleet: extend a lease deadline
     };
 
     Kind kind = Kind::none;
@@ -50,6 +63,12 @@ struct ServeRequest
     std::string config;
     std::string workload;
     std::string policy;
+
+    /** Fleet operands (lease/done/renew). */
+    unsigned worker = 0;        ///< requesting worker index
+    std::uint64_t leaseId = 0;  ///< done/renew: which lease
+    std::uint64_t gridHash = 0; ///< lease: the worker's grid print
+    std::uint32_t key = 0;      ///< done: completed grid index
 
     /** Parse-error message for Kind::error. */
     std::string error;

@@ -178,6 +178,14 @@ ServeService::handleLine(const std::string &line)
         return serveHelpText();
       case ServeRequest::Kind::error:
         return csprintf("# error: %s\n", req.error.c_str());
+      case ServeRequest::Kind::lease:
+      case ServeRequest::Kind::done:
+      case ServeRequest::Kind::renew:
+        // Fleet verbs share the wire format (serve_protocol.hh) but
+        // only a migc_sweep coordinator can answer them: this
+        // service has a cache, not a work queue.
+        return "# error: lease/done/renew are fleet-coordinator "
+               "verbs (migc_sweep); this is a serve cache\n";
     }
     return csprintf("# error: unhandled request\n");
 }

@@ -431,6 +431,42 @@ TEST(ShardMerge, IdenticalRowsDedupeAcrossShards)
     std::remove(base.c_str());
 }
 
+TEST(ShardMerge, ZeroLengthShardFileIsAnEmptyCacheNotAParseError)
+{
+    // A fleet worker SIGKILLed before its first checkpoint leaves a
+    // zero-length (or blank) shard file behind; --resume and the
+    // join merge must read it as a legitimately empty cache, not
+    // count a parse error or warn about a missing format tag.
+    const std::string base = tempCachePath("zerolen");
+    removeCacheFamily(base, 2);
+    RunMetrics row = fakeMetrics("FwSoft", "CacheRW", 4321);
+    writeShardFile(shardCachePath(base, 0), "sectionA", {row});
+    { std::ofstream touch(shardCachePath(base, 1), std::ios::trunc); }
+
+    ShardMergeStats stats = mergeShardCaches(base, 2);
+    EXPECT_EQ(stats.files, 2u);
+    EXPECT_EQ(stats.rows, 1u);
+    EXPECT_EQ(stats.duplicates, 0u);
+    EXPECT_EQ(stats.parseErrors, 0u);
+    // Both inputs were consumed, including the empty one.
+    EXPECT_FALSE(fileExists(shardCachePath(base, 0)));
+    EXPECT_FALSE(fileExists(shardCachePath(base, 1)));
+    std::remove(base.c_str());
+
+    // Blank lines only (a checkpoint truncated after the newline of
+    // an earlier write) read the same way.
+    removeCacheFamily(base, 1);
+    {
+        std::ofstream blank(shardCachePath(base, 0), std::ios::trunc);
+        blank << "\n\n";
+    }
+    ShardMergeStats blank_stats = mergeShardCaches(base, 1);
+    EXPECT_EQ(blank_stats.files, 1u);
+    EXPECT_EQ(blank_stats.rows, 0u);
+    EXPECT_EQ(blank_stats.parseErrors, 0u);
+    std::remove(base.c_str());
+}
+
 TEST(ShardMerge, ConflictingRowsFailLoudly)
 {
     const std::string base = tempCachePath("conflict");
