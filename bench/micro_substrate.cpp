@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cache/tags.hh"
+#include "core/cache_v4.hh"
 #include "core/fleet.hh"
 #include "core/runner.hh"
 #include "core/shard.hh"
@@ -554,6 +555,225 @@ benchSweepWarmReplay()
     return r;
 }
 
+// ---------------------------------------------------------------
+// Zero-copy data plane (cache v4): load, replay, and shard merge
+// over a 100k-row synthetic grid. No simulation runs here - these
+// scenarios time the cache serialization layer alone, at a scale
+// (10 configs x 100 workloads x 100 policies) where the O(rows)
+// costs dominate and a parse-vs-mmap difference is unmistakable.
+// ---------------------------------------------------------------
+
+/** Keys of the synthetic 100k-row grid. */
+struct SyntheticGrid
+{
+    std::vector<std::string> sigs;      ///< 10 config signatures
+    std::vector<std::string> workloads; ///< 100
+    std::vector<std::string> policies;  ///< 100
+
+    std::size_t rows() const
+    {
+        return sigs.size() * workloads.size() * policies.size();
+    }
+};
+
+SyntheticGrid
+syntheticGrid()
+{
+    SyntheticGrid g;
+    for (int j = 0; j < 10; ++j)
+        g.sigs.push_back(csprintf("synthcfg%02d", j));
+    for (int a = 0; a < 100; ++a)
+        g.workloads.push_back(csprintf("w%02d", a));
+    for (int b = 0; b < 100; ++b)
+        g.policies.push_back(csprintf("p%02d", b));
+    return g;
+}
+
+/** A deterministic, nonzero metrics row for one synthetic key. */
+RunMetrics
+syntheticRow(const std::string &workload, const std::string &policy,
+             std::uint64_t salt)
+{
+    const std::uint64_t h = splitmix64(salt);
+    RunMetrics m;
+    m.workload = workload;
+    m.policy = policy;
+    m.execTicks = 1000 + (h & 0xffff);
+    m.execSeconds = static_cast<double>(m.execTicks) * 1e-9;
+    m.gpuMemRequests = static_cast<double>(h % 100000);
+    m.dramReads = static_cast<double>(h % 7919);
+    m.dramWrites = static_cast<double>(h % 4093);
+    m.dramAccesses = m.dramReads + m.dramWrites + 1.0;
+    m.dramRowHitRate = static_cast<double>(h % 1000) / 1000.0;
+    m.simEvents = static_cast<double>(1 + h % 65536);
+    return m;
+}
+
+/** Write the synthetic grid to @p path in @p format (one compact
+ *  write: the checkpoint interval is too large to trigger). */
+void
+writeSyntheticCache(const std::string &path, const SyntheticGrid &g,
+                    CacheFormat format)
+{
+    std::remove(path.c_str());
+    RunCache rc(path, 1u << 30, format);
+    std::uint64_t salt = 0;
+    for (const auto &sig : g.sigs)
+        for (const auto &w : g.workloads)
+            for (const auto &p : g.policies)
+                rc.insert(sig, syntheticRow(w, p, ++salt));
+    rc.flush();
+}
+
+/**
+ * Zero-copy load: map the v4 file and build the serving snapshot
+ * (checksum pass included, no row materialization). This is the
+ * migc_serve startup path; its counterpart cache_v3_parse below is
+ * the same logical load through the text parser.
+ */
+BenchResult
+benchCacheV4Load(const std::string &path, const SyntheticGrid &g)
+{
+    BenchResult r;
+    r.name = "cache_v4_load";
+    r.eventScenario = false;
+    const int reps = 40;
+    std::size_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+        std::string why;
+        auto file = MappedCacheV4::map(path, &why);
+        if (file == nullptr) {
+            std::fprintf(stderr, "cache_v4_load: map failed: %s\n",
+                         why.c_str());
+            break;
+        }
+        auto snap = CacheSnapshot::fromMappedFile(std::move(file));
+        sink += snap->rows();
+    }
+    r.seconds = secondsSince(t0);
+    r.items = static_cast<std::uint64_t>(reps) * g.rows();
+    if (sink != r.items)
+        std::fprintf(stderr, "cache_v4_load: row count drifted\n");
+    return r;
+}
+
+/** The same grid loaded through the v3 text parser. */
+BenchResult
+benchCacheV3Parse(const std::string &path, const SyntheticGrid &g)
+{
+    BenchResult r;
+    r.name = "cache_v3_parse";
+    r.eventScenario = false;
+    const int reps = 3;
+    std::size_t sink = 0;
+    auto t0 = BenchClock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+        RunCache rc(path, 1u << 30);
+        sink += rc.size();
+    }
+    r.seconds = secondsSince(t0);
+    r.items = static_cast<std::uint64_t>(reps) * g.rows();
+    if (sink != r.items)
+        std::fprintf(stderr, "cache_v3_parse: row count drifted\n");
+    return r;
+}
+
+/**
+ * Warm replay against the v4 cache: load it the way a sweep engine
+ * does (bulk sorted import, no per-row map inserts) and look up
+ * every grid key. Grid points served per second, the v4 analogue of
+ * sweep_warm_replay's rate.
+ */
+BenchResult
+benchWarmReplayV4(const std::string &path, const SyntheticGrid &g)
+{
+    BenchResult r;
+    r.name = "warm_replay_v4";
+    r.eventScenario = false;
+    const int reps = 10;
+    std::size_t hits = 0;
+    auto t0 = BenchClock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+        RunCache rc(path, 1u << 30);
+        for (const auto &sig : g.sigs)
+            for (const auto &w : g.workloads)
+                for (const auto &p : g.policies)
+                    hits += rc.find(sig, w, p) != nullptr;
+    }
+    r.seconds = secondsSince(t0);
+    r.items = static_cast<std::uint64_t>(reps) * g.rows();
+    if (hits != r.items)
+        std::fprintf(stderr, "warm_replay_v4: cache miss on replay\n");
+    return r;
+}
+
+/**
+ * Coordinator join over 4 x 25k-row shard files (plus no canonical
+ * cache). In v4 mode this takes the zero-copy k-way merge; the csv
+ * variant measures the same join through the general RunCache path.
+ * Only the merge itself is timed - re-seeding the consumed input
+ * files between reps is setup.
+ */
+BenchResult
+benchShardMerge100k(const std::string &base, const SyntheticGrid &g,
+                    CacheFormat format, const char *name, int reps)
+{
+    BenchResult r;
+    r.name = name;
+    r.eventScenario = false;
+    constexpr unsigned kShards = 4;
+
+    // Build each shard's bytes once (round-robin key partition, so
+    // shard files are key-disjoint and individually sorted), then
+    // re-seed the files from memory before every timed merge.
+    std::vector<std::string> blobs(kShards);
+    {
+        std::vector<std::unique_ptr<RunCache>> shards;
+        for (unsigned i = 0; i < kShards; ++i) {
+            const std::string path = shardCachePath(base, i);
+            std::remove(path.c_str());
+            shards.push_back(std::make_unique<RunCache>(
+                path, 1u << 30, format));
+        }
+        std::uint64_t salt = 0;
+        std::size_t at = 0;
+        for (const auto &sig : g.sigs)
+            for (const auto &w : g.workloads)
+                for (const auto &p : g.policies)
+                    shards[at++ % kShards]->insert(
+                        sig, syntheticRow(w, p, ++salt));
+        for (unsigned i = 0; i < kShards; ++i) {
+            shards[i]->flush();
+            std::ifstream in(shardCachePath(base, i),
+                             std::ios::binary);
+            std::stringstream ss;
+            ss << in.rdbuf();
+            blobs[i] = ss.str();
+        }
+    }
+
+    r.seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::remove(base.c_str());
+        for (unsigned i = 0; i < kShards; ++i) {
+            std::ofstream out(shardCachePath(base, i),
+                              std::ios::binary | std::ios::trunc);
+            out.write(blobs[i].data(),
+                      static_cast<std::streamsize>(blobs[i].size()));
+        }
+        auto t0 = BenchClock::now();
+        ShardMergeStats stats = mergeShardCaches(base, kShards);
+        r.seconds += secondsSince(t0);
+        if (stats.rows != g.rows() || stats.files != kShards)
+            std::fprintf(stderr, "%s: bad merge (%zu rows, %zu "
+                         "files)\n", name, stats.rows, stats.files);
+    }
+    r.items = static_cast<std::uint64_t>(reps) * g.rows();
+    std::remove(base.c_str());
+    return r;
+}
+
 double
 geomeanRate(const std::vector<BenchResult> &results, bool events_only)
 {
@@ -698,6 +918,36 @@ main(int argc, char **argv)
     results.push_back(benchSweepColdEngine(grid_results));
     results.push_back(benchSweepWarmReplay());
 
+    // Data-plane scenarios: same 100k-row synthetic grid through
+    // both serializations. The merge dispatch reads
+    // MIGC_CACHE_FORMAT, so pin it per scenario and restore.
+    {
+        const char *old_fmt = std::getenv("MIGC_CACHE_FORMAT");
+        const std::string saved = old_fmt ? old_fmt : "";
+        const SyntheticGrid grid100k = syntheticGrid();
+        const std::string v4_path = "BENCH_cache_v4.tmp.bin";
+        const std::string v3_path = "BENCH_cache_v3.tmp.csv";
+        writeSyntheticCache(v4_path, grid100k, CacheFormat::v4);
+        writeSyntheticCache(v3_path, grid100k, CacheFormat::csv);
+        results.push_back(benchCacheV4Load(v4_path, grid100k));
+        results.push_back(benchCacheV3Parse(v3_path, grid100k));
+        results.push_back(benchWarmReplayV4(v4_path, grid100k));
+        ::setenv("MIGC_CACHE_FORMAT", "v4", 1);
+        results.push_back(benchShardMerge100k(
+            "BENCH_merge_v4.tmp.bin", grid100k, CacheFormat::v4,
+            "shard_merge_100k", 5));
+        ::setenv("MIGC_CACHE_FORMAT", "csv", 1);
+        results.push_back(benchShardMerge100k(
+            "BENCH_merge_v3.tmp.csv", grid100k, CacheFormat::csv,
+            "shard_merge_100k_csv", 1));
+        if (old_fmt)
+            ::setenv("MIGC_CACHE_FORMAT", saved.c_str(), 1);
+        else
+            ::unsetenv("MIGC_CACHE_FORMAT");
+        std::remove(v4_path.c_str());
+        std::remove(v3_path.c_str());
+    }
+
     std::vector<ScheduleModel> models{
         modelSchedule(grid_results, 4), modelSchedule(grid_results, 8),
         modelSchedule(grid_results, 16), modelSchedule(grid_results, 24)};
@@ -796,6 +1046,9 @@ main(int argc, char **argv)
             if (r.name.rfind("sweep_", 0) != 0 &&
                 r.name.rfind("fleet_", 0) != 0 &&
                 r.name.rfind("tags_", 0) != 0 &&
+                r.name.rfind("cache_", 0) != 0 &&
+                r.name.rfind("warm_", 0) != 0 &&
+                r.name.rfind("shard_", 0) != 0 &&
                 r.name != "busy_bitmap_popcount" &&
                 r.name != "eq_dary_depth" &&
                 r.name != "policy_decision_overhead")

@@ -158,11 +158,17 @@ main(int argc, char **argv)
              "merged canonical cache, not one shard's slice");
 
     SweepEngine engine(cache);
+    opts.cachePath = cache;
     ServeService service(engine, opts);
-    inform("loaded %zu row%s from %s",
-           engine.snapshot()->rows(),
-           engine.snapshot()->rows() == 1 ? "" : "s",
-           cache.empty() ? "(cache disabled)" : cache.c_str());
+    // Report through the service, not engine.snapshot(): on an
+    // mmap'd start the engine has not parsed the cache, and asking
+    // it for a snapshot here would force exactly the parse the
+    // zero-copy path exists to skip.
+    inform("loaded %zu row%s from %s (%s, %.1f ms)",
+           service.snapshotRows(),
+           service.snapshotRows() == 1 ? "" : "s",
+           cache.empty() ? "(cache disabled)" : cache.c_str(),
+           service.snapshotFormat().c_str(), service.loadMs());
 
     if (!socket_path.empty())
         return serveSocket(service, socket_path);

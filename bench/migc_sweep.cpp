@@ -76,6 +76,9 @@ struct Options
     unsigned jobs = 0;     // threads per process (0 = MIGC_JOBS)
     bool manifest = false;
     bool merge = false;
+    std::string cacheFormat; // "" = MIGC_CACHE_FORMAT / v4 default
+    bool convert = false;    // rewrite the cache in --cache-format
+    std::string exportPath;  // write a copy there in --cache-format
 
     // Fleet (elastic lease queue) options.
     std::string fleetSocket;  // worker: coordinator socket to join
@@ -124,6 +127,15 @@ usage(const char *argv0)
         "                         commands, then exit\n"
         "  --merge                merge <cache>.shard* into <cache>\n"
         "                         and exit\n"
+        "  --cache-format v4|csv  cache serialization this process\n"
+        "                         (and its forked workers) writes:\n"
+        "                         v4 binary columnar (default) or the\n"
+        "                         v3 csv text; reads always sniff\n"
+        "  --convert              rewrite <cache> in --cache-format\n"
+        "                         and exit (v4 <-> csv migration)\n"
+        "  --export PATH          write a copy of <cache> to PATH in\n"
+        "                         --cache-format and exit (the\n"
+        "                         original is untouched)\n"
         "  --jobs J               worker threads per process\n"
         "  --slow-worker I:MS     testing: fork worker I with an MS ms\n"
         "                         sleep after every run (straggler)\n"
@@ -220,6 +232,17 @@ parseArgs(int argc, char **argv)
             opt.manifest = true;
         } else if (arg == "--merge") {
             opt.merge = true;
+        } else if (arg == "--cache-format") {
+            opt.cacheFormat = need(i++);
+            fatal_if(opt.cacheFormat != "v4" &&
+                         opt.cacheFormat != "csv" &&
+                         opt.cacheFormat != "v3",
+                     "--cache-format %s: expected v4 or csv",
+                     opt.cacheFormat.c_str());
+        } else if (arg == "--convert") {
+            opt.convert = true;
+        } else if (arg == "--export") {
+            opt.exportPath = need(i++);
         } else {
             usage(argv[0]);
             fatal("unknown option %s", arg.c_str());
@@ -253,6 +276,12 @@ parseArgs(int argc, char **argv)
     fatal_if(opt.slowWorkerIndex >= 0 && !opt.listenSocket.empty(),
              "--slow-worker injects at fork; with --listen, start "
              "the straggler yourself with --slow-ms");
+    fatal_if((opt.convert || !opt.exportPath.empty()) &&
+                 (opt.merge || opt.manifest || opt.shards > 0 ||
+                  !opt.fleetSocket.empty() ||
+                  !opt.listenSocket.empty()),
+             "--convert/--export only rewrite the cache; they cannot "
+             "be combined with sweep or fleet roles");
     return opt;
 }
 
@@ -322,6 +351,12 @@ workerArgs(const std::string &argv0, const Options &opt,
     if (!opt.policies.empty()) {
         args.push_back("--policies");
         args.push_back(joinStrings(opt.policies, ","));
+    }
+    if (!opt.cacheFormat.empty()) {
+        // The env var also propagates across fork, but the manifest
+        // prints these lines for copy-paste from a fresh shell.
+        args.push_back("--cache-format");
+        args.push_back(opt.cacheFormat);
     }
     if (opt.jobs > 0) {
         args.push_back("--jobs");
@@ -602,6 +637,13 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
+    // Resolve --cache-format by publishing it as MIGC_CACHE_FORMAT
+    // before the first RunCache exists: one source of truth for this
+    // process's caches AND the forked fleet workers' (environments
+    // survive fork/exec, so the whole fleet writes one format).
+    if (!opt.cacheFormat.empty())
+        ::setenv("MIGC_CACHE_FORMAT", opt.cacheFormat.c_str(), 1);
+
     // No --shards on the command line: honor the same environment
     // hook every figure binary obeys, so `MIGC_SHARDS=4
     // MIGC_SHARD_INDEX=0 migc_sweep` is a worker rather than a
@@ -636,6 +678,22 @@ main(int argc, char **argv)
              "sharded sweeps need a cache file to merge "
              "(unset MIGC_NO_CACHE or pass --cache)");
 
+    if (opt.convert || !opt.exportPath.empty()) {
+        fatal_if(cache.empty(),
+                 "--convert/--export need a cache file (unset "
+                 "MIGC_NO_CACHE or pass --cache)");
+        RunCache rc(cache); // sniffs whatever format is on disk
+        const CacheFormat fmt = cacheFormatFromEnv();
+        const std::string dest =
+            opt.exportPath.empty() ? cache : opt.exportPath;
+        fatal_if(!rc.exportFile(dest, fmt),
+                 "could not write %s", dest.c_str());
+        std::printf("wrote %s as %s (%zu rows; source format %s)\n",
+                    dest.c_str(), cacheFormatName(fmt), rc.size(),
+                    rc.loadedFormatName());
+        return 0;
+    }
+
     if (opt.merge) {
         printMergeSummary(cache, mergeShardCaches(cache, opt.shards));
         return 0;
@@ -666,6 +724,10 @@ main(int argc, char **argv)
         if (!opt.policies.empty()) {
             coord.push_back("--policies");
             coord.push_back(joinStrings(opt.policies, ","));
+        }
+        if (!opt.cacheFormat.empty()) {
+            coord.push_back("--cache-format");
+            coord.push_back(opt.cacheFormat);
         }
         if (opt.resume)
             coord.push_back("--resume");

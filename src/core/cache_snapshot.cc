@@ -1,5 +1,8 @@
 #include "core/cache_snapshot.hh"
 
+#include "core/cache_v4.hh"
+#include "sim/logging.hh"
+
 namespace migc
 {
 
@@ -38,12 +41,25 @@ CacheSnapshot::CacheSnapshot(
       keepAlive_(std::move(keep_alive))
 {}
 
+CacheSnapshot::CacheSnapshot(std::shared_ptr<const MappedCacheV4> file)
+    : rows_(file->rows()), mapped_(std::move(file))
+{}
+
 std::shared_ptr<const CacheSnapshot>
 CacheSnapshot::empty()
 {
     static const std::shared_ptr<const CacheSnapshot> instance(
         new CacheSnapshot({}, 0, {}));
     return instance;
+}
+
+std::shared_ptr<const CacheSnapshot>
+CacheSnapshot::fromMappedFile(std::shared_ptr<const MappedCacheV4> file)
+{
+    panic_if(file == nullptr,
+             "fromMappedFile needs a mapped cache file");
+    return std::shared_ptr<const CacheSnapshot>(
+        new CacheSnapshot(std::move(file)));
 }
 
 const RunMetrics *
@@ -76,10 +92,111 @@ CacheSnapshot::match(const std::string &sig_pattern,
     return out;
 }
 
+bool
+CacheSnapshot::findCsv(const std::string &sig,
+                       const std::string &workload,
+                       const std::string &policy,
+                       std::string &out) const
+{
+    if (mapped_ != nullptr) {
+        const std::int64_t idx =
+            mapped_->findRow(sig, workload, policy);
+        if (idx < 0)
+            return false;
+        out += mapped_->materialize(static_cast<std::size_t>(idx))
+                   .toCsv();
+        return true;
+    }
+    const RunMetrics *row = find(sig, workload, policy);
+    if (row == nullptr)
+        return false;
+    out += row->toCsv();
+    return true;
+}
+
+std::size_t
+CacheSnapshot::matchCsv(const std::string &sig_pattern,
+                        const std::string &workload_pattern,
+                        const std::string &policy_pattern,
+                        std::string &out) const
+{
+    if (mapped_ == nullptr) {
+        std::size_t n = 0;
+        for (const auto &[sig, section] : sections_) {
+            if (!globMatch(sig_pattern, sig))
+                continue;
+            for (const auto &[key, row] : section) {
+                if (globMatch(workload_pattern, key.first) &&
+                    globMatch(policy_pattern, key.second)) {
+                    out += row->toCsv();
+                    out += '\n';
+                    ++n;
+                }
+            }
+        }
+        return n;
+    }
+
+    // Interned-table prefilter: evaluate the workload/policy globs
+    // once per distinct string, the signature glob once per section.
+    // Rows are only visited inside sections whose signature matched,
+    // and each visit is two byte-sized flag loads - the globs never
+    // rescan per row.
+    const V4SegmentView &seg = mapped_->segment();
+    std::vector<unsigned char> wl_ok(seg.stringCount, 0);
+    std::vector<unsigned char> pol_ok(seg.stringCount, 0);
+    for (std::uint64_t i = 0; i < seg.stringCount; ++i) {
+        const std::string s(seg.str(static_cast<std::uint32_t>(i)));
+        wl_ok[i] = globMatch(workload_pattern, s) ? 1 : 0;
+        pol_ok[i] = globMatch(policy_pattern, s) ? 1 : 0;
+    }
+
+    std::size_t n = 0;
+    for (const MappedCacheV4::SectionRange &range :
+         mapped_->sectionRanges()) {
+        const std::string sig(
+            seg.str(seg.keys[range.begin].sig));
+        if (!globMatch(sig_pattern, sig))
+            continue;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            const V4Key &k = seg.keys[i];
+            if (!wl_ok[k.workload] || !pol_ok[k.policy])
+                continue;
+            out += mapped_->materialize(i).toCsv();
+            out += '\n';
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+CacheSnapshot::sectionCount() const
+{
+    return mapped_ != nullptr ? mapped_->sections() : sections_.size();
+}
+
 double
 CacheSnapshot::estimateEvents(const std::string &workload,
                               const std::string &policy) const
 {
+    if (mapped_ != nullptr) {
+        const std::int64_t w = mapped_->stringId(workload);
+        const std::int64_t p = mapped_->stringId(policy);
+        if (w < 0 || p < 0)
+            return 0.0;
+        const V4SegmentView &seg = mapped_->segment();
+        double best = 0.0;
+        for (std::uint64_t i = 0; i < seg.rowCount; ++i) {
+            const V4Key &k = seg.keys[i];
+            if (k.workload == static_cast<std::uint32_t>(w) &&
+                k.policy == static_cast<std::uint32_t>(p) &&
+                seg.rows[i].m[20] > best) {
+                best = seg.rows[i].m[20];
+            }
+        }
+        return best;
+    }
     double best = 0.0;
     for (const auto &[sig, section] : sections_) {
         auto it = section.find(Key{workload, policy});
@@ -107,6 +224,30 @@ CacheSnapshot::Builder::add(const std::string &sig,
     return fresh;
 }
 
+bool
+CacheSnapshot::Builder::addSorted(const std::string &sig,
+                                  const RunMetrics *row)
+{
+    if (row == nullptr || row->placeholder)
+        return false;
+    if (!haveHint_ || hintSection_->first != sig) {
+        // New (or first) section: hint at the end of the section
+        // map - correct whenever sections arrive in ascending order,
+        // and emplace_hint stays correct (just slower) when not.
+        hintSection_ =
+            sections_.emplace_hint(sections_.end(), sig, Section{});
+        haveHint_ = true;
+    }
+    Section &section = hintSection_->second;
+    const std::size_t before = section.size();
+    section.emplace_hint(section.end(),
+                         Key{row->workload, row->policy}, row);
+    if (section.size() == before)
+        return false; // key already present: first add wins
+    ++rows_;
+    return true;
+}
+
 void
 CacheSnapshot::Builder::retain(std::shared_ptr<const void> owner)
 {
@@ -120,6 +261,12 @@ CacheSnapshot::Builder::addAll(
 {
     if (!snap)
         return;
+    panic_if(snap->mapped(),
+             "Builder::addAll on a mapped snapshot: it has no "
+             "materialized rows to add, and dropping %zu rows "
+             "silently is not an option - materialize through "
+             "RunCache first",
+             snap->rows());
     for (const auto &[sig, section] : snap->sections()) {
         for (const auto &[key, row] : section)
             add(sig, row);
@@ -144,6 +291,7 @@ CacheSnapshot::Builder::build()
     sections_ = {};
     rows_ = 0;
     keepAlive_ = {};
+    haveHint_ = false;
     return snap;
 }
 

@@ -13,10 +13,22 @@
  * not rows) and swaps one shared_ptr; readers keep using whatever
  * snapshot they loaded, lock-free, for as long as they hold it.
  *
+ * A snapshot has a second, zero-copy representation: fromMappedFile()
+ * wraps an mmap'd single-segment v4 cache file (cache_v4.hh) without
+ * materializing a single RunMetrics. Queries then run on the interned
+ * columns directly - binary search over interned ids for exact finds,
+ * glob evaluation once per distinct interned string (instead of once
+ * per row) before any row is touched. Only the serialization-level
+ * API (findCsv / matchCsv / rows / sectionCount / estimateEvents)
+ * works on a mapped snapshot; the pointer-returning find()/match()
+ * and sections() are materialized-only, because a mapped snapshot
+ * has no RunMetrics objects to point at. This is how migc_serve
+ * starts serving by mapping the cache instead of parsing it.
+ *
  * Ownership: a snapshot retains (via keep-alive shared_ptrs) every
- * row store its pointers reach into, so a query result stays valid
- * for the lifetime of the snapshot that produced it - even after
- * the owning RunCache is gone.
+ * row store - or mapped file - its pointers reach into, so a query
+ * result stays valid for the lifetime of the snapshot that produced
+ * it - even after the owning RunCache is gone.
  *
  * Thread-safety: a built CacheSnapshot is deeply immutable; any
  * number of threads may query one concurrently with no locking. The
@@ -37,10 +49,15 @@
 namespace migc
 {
 
+class MappedCacheV4;
+
 /**
  * Glob match with '*' (any run, including empty) and '?' (exactly
  * one character); everything else matches literally. The pattern
- * language of migc_serve's `match` queries.
+ * language of migc_serve's `match` queries. Iterative two-pointer
+ * matching with single-star backtracking: O(|pattern| * |text|)
+ * worst case even on adversarial multi-'*' patterns, never the
+ * exponential blowup of naive recursive matchers.
  */
 bool globMatch(const std::string &pattern, const std::string &text);
 
@@ -59,7 +76,20 @@ class CacheSnapshot
     /** The shared empty snapshot. */
     static std::shared_ptr<const CacheSnapshot> empty();
 
-    /** Row for (sig, workload, policy), or nullptr. */
+    /**
+     * Zero-copy snapshot over a mapped v4 cache file: no rows are
+     * materialized, queries answer straight from the interned
+     * columns. Serialization-level queries only (see the file
+     * comment); find()/match()/sections() on the result are empty.
+     */
+    static std::shared_ptr<const CacheSnapshot>
+    fromMappedFile(std::shared_ptr<const MappedCacheV4> file);
+
+    /** True for a fromMappedFile() snapshot. */
+    bool mapped() const { return mapped_ != nullptr; }
+
+    /** Row for (sig, workload, policy), or nullptr. Materialized
+     *  snapshots only: always nullptr on a mapped snapshot. */
     const RunMetrics *find(const std::string &sig,
                            const std::string &workload,
                            const std::string &policy) const;
@@ -68,20 +98,51 @@ class CacheSnapshot
      * All rows whose (signature, workload, policy) match the three
      * glob patterns, in canonical order (sorted by signature, then
      * workload, then policy - the cache-file serialization order, so
-     * pattern answers are byte-stable across runs).
+     * pattern answers are byte-stable across runs). Materialized
+     * snapshots only: empty on a mapped snapshot.
      */
     std::vector<const RunMetrics *>
     match(const std::string &sig_pattern,
           const std::string &workload_pattern,
           const std::string &policy_pattern) const;
 
-    /** Total rows across all sections. */
+    /**
+     * Serialization-level exact lookup, valid on both
+     * representations: on a hit, appends the row's CSV line (no
+     * trailing newline) to @p out and returns true. A mapped
+     * snapshot resolves the key by interned-id binary search and
+     * formats the CSV straight from the metric column.
+     */
+    bool findCsv(const std::string &sig, const std::string &workload,
+                 const std::string &policy, std::string &out) const;
+
+    /**
+     * Serialization-level glob query, valid on both representations:
+     * appends one '\n'-terminated CSV line per matching row to
+     * @p out, canonical order, and returns the match count. A mapped
+     * snapshot evaluates each glob once per distinct interned string
+     * (signatures per section, workload/policy over the string
+     * table) and only then scans the key column - the prefilter that
+     * makes glob serving cheap on wide caches.
+     */
+    std::size_t matchCsv(const std::string &sig_pattern,
+                         const std::string &workload_pattern,
+                         const std::string &policy_pattern,
+                         std::string &out) const;
+
+    /** Total rows, either representation. */
     std::size_t rows() const { return rows_; }
 
+    /** Distinct config sections, either representation. */
+    std::size_t sectionCount() const;
+
+    /** Materialized index; empty for a mapped snapshot (use the
+     *  serialization-level queries there). */
     const SectionMap &sections() const { return sections_; }
 
     /** Largest simEvents recorded for (workload, policy) under any
-     *  signature; 0 when unseen (scheduler cost estimate). */
+     *  signature; 0 when unseen (scheduler cost estimate). Valid on
+     *  both representations. */
     double estimateEvents(const std::string &workload,
                           const std::string &policy) const;
 
@@ -100,11 +161,23 @@ class CacheSnapshot
          */
         bool add(const std::string &sig, const RunMetrics *row);
 
+        /**
+         * add() for canonically ordered input: amortized O(1) per
+         * row when rows arrive sorted by (sig, workload, policy) -
+         * the order of a compacted v4 segment - via end-of-map
+         * hints; falls back to add() whenever the hint is wrong, so
+         * unsorted input stays correct, just slower.
+         */
+        bool addSorted(const std::string &sig, const RunMetrics *row);
+
         /** Keep @p owner alive as long as the built snapshot. */
         void retain(std::shared_ptr<const void> owner);
 
         /** add() every row of @p snap (existing keys win) and retain
-         *  it, so merged snapshots keep their row stores alive. */
+         *  it, so merged snapshots keep their row stores alive.
+         *  Mapped snapshots are refused (panic): they have no rows
+         *  to add, and silently dropping a whole cache would be far
+         *  worse than crashing. */
         void addAll(const std::shared_ptr<const CacheSnapshot> &snap);
 
         /** Finish; the builder is empty afterwards. */
@@ -114,15 +187,25 @@ class CacheSnapshot
         SectionMap sections_;
         std::size_t rows_ = 0;
         std::vector<std::shared_ptr<const void>> keepAlive_;
+
+        /** addSorted() hint state: the section and row positions of
+         *  the previous add. */
+        SectionMap::iterator hintSection_;
+        bool haveHint_ = false;
     };
 
   private:
     CacheSnapshot(SectionMap sections, std::size_t rows,
                   std::vector<std::shared_ptr<const void>> keep_alive);
 
+    explicit CacheSnapshot(std::shared_ptr<const MappedCacheV4> file);
+
     SectionMap sections_;
     std::size_t rows_;
     std::vector<std::shared_ptr<const void>> keepAlive_;
+
+    /** Zero-copy base; non-null exactly for mapped snapshots. */
+    std::shared_ptr<const MappedCacheV4> mapped_;
 };
 
 } // namespace migc

@@ -8,12 +8,14 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <string_view>
 #include <thread>
 #include <tuple>
 
 #include <chrono>
 #include <condition_variable>
 
+#include "core/cache_v4.hh"
 #include "core/fleet.hh"
 #include "core/runner.hh"
 #include "core/system.hh"
@@ -55,6 +57,78 @@ startsWith(const std::string &s, const char *prefix)
     return s.rfind(prefix, 0) == 0;
 }
 
+/** Serialize @p snap as a v3 text cache, byte-identical to what the
+ *  pre-v4 writer produced for the same rows. */
+void
+writeCsvCache(std::string &out, const CacheSnapshot &snap)
+{
+    out += kCacheTagV3;
+    out += '\n';
+    for (const auto &[sig, section] : snap.sections()) {
+        out += kSectionTag;
+        out += sig;
+        out += '\n';
+        out += RunMetrics::csvHeader();
+        out += '\n';
+        for (const auto &[key, m] : section) {
+            out += m->toCsv();
+            out += '\n';
+        }
+    }
+}
+
+/** @p snap's rows in canonical (sig, workload, policy) order, ready
+ *  for buildV4Segment (the snapshot's own iteration order IS the
+ *  canonical order - both maps sort lexicographically). */
+std::vector<V4RowRef>
+v4RowsOf(const CacheSnapshot &snap)
+{
+    std::vector<V4RowRef> rows;
+    rows.reserve(snap.rows());
+    for (const auto &[sig, section] : snap.sections()) {
+        for (const auto &[key, m] : section) {
+            rows.push_back(
+                V4RowRef{sig, m->workload, m->policy, packV4Row(*m)});
+        }
+    }
+    return rows;
+}
+
+/**
+ * Serialize @p snap to @p path in @p format via tmp+rename: the
+ * compacting write shared by save() and exportFile(). The pid suffix
+ * keeps concurrent processes' tmp files private.
+ */
+bool
+writeSnapshotTo(const std::string &path, const CacheSnapshot &snap,
+                CacheFormat format)
+{
+    std::string bytes;
+    if (format == CacheFormat::csv)
+        writeCsvCache(bytes, snap);
+    else
+        bytes = buildV4Segment(v4RowsOf(snap));
+    const std::string tmp = csprintf("%s.%d.tmp", path.c_str(),
+                                     static_cast<int>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("could not move sweep cache into place at %s",
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -67,14 +141,41 @@ sweepCachePathFromEnv()
     return path ? path : "mi_sweep_cache.csv";
 }
 
+CacheFormat
+cacheFormatFromEnv()
+{
+    const char *v = std::getenv("MIGC_CACHE_FORMAT");
+    if (v == nullptr || v[0] == '\0' || std::strcmp(v, "v4") == 0)
+        return CacheFormat::v4;
+    if (std::strcmp(v, "csv") == 0 || std::strcmp(v, "v3") == 0)
+        return CacheFormat::csv;
+    fatal("MIGC_CACHE_FORMAT must be \"v4\" or \"csv\" (alias "
+          "\"v3\"), not \"%s\"",
+          v);
+    return CacheFormat::v4; // unreachable
+}
+
+const char *
+cacheFormatName(CacheFormat format)
+{
+    return format == CacheFormat::v4 ? "v4" : "csv";
+}
+
 // ---------------------------------------------------------------------
 // RunCache
 // ---------------------------------------------------------------------
 
 RunCache::RunCache(std::string path, std::size_t checkpoint_interval)
+    : RunCache(std::move(path), checkpoint_interval,
+               cacheFormatFromEnv())
+{}
+
+RunCache::RunCache(std::string path, std::size_t checkpoint_interval,
+                   CacheFormat format)
     : path_(std::move(path)),
       checkpointInterval_(checkpoint_interval > 0 ? checkpoint_interval
                                                   : 1),
+      format_(format),
       log_(std::make_shared<std::deque<RunMetrics>>()),
       base_(CacheSnapshot::empty())
 {
@@ -87,14 +188,53 @@ RunCache::~RunCache()
     flush();
 }
 
+void
+RunCache::noteLoadedFormat(const char *format)
+{
+    if (loadedFormat_ == nullptr)
+        loadedFormat_ = format;
+}
+
+const char *
+RunCache::loadedFormatName() const
+{
+    return loadedFormat_ != nullptr ? loadedFormat_ : "none";
+}
+
 RunCache::MergeStats
 RunCache::mergeFromFile(const std::string &path,
                         bool classify_collisions)
 {
+    // Sniff the first 8 bytes: the v4 magic never begins a v3/v2
+    // text file (those start with '#'), so the dispatch is exact.
+    char magic[sizeof(kV4SegMagic)];
+    std::size_t got = 0;
+    {
+        std::FILE *probe = std::fopen(path.c_str(), "rb");
+        if (probe == nullptr) {
+            if (path == path_)
+                fileState_ = FileState::absent;
+            return {};
+        }
+        got = std::fread(magic, 1, sizeof(magic), probe);
+        std::fclose(probe);
+    }
+    if (got == sizeof(magic) && isV4Magic(magic))
+        return mergeV4File(path, classify_collisions);
+    return mergeTextFile(path, classify_collisions);
+}
+
+RunCache::MergeStats
+RunCache::mergeTextFile(const std::string &path,
+                        bool classify_collisions)
+{
     MergeStats stats;
     std::ifstream in(path);
-    if (!in)
+    if (!in) {
+        if (path == path_)
+            fileState_ = FileState::absent;
         return stats;
+    }
     std::string line;
     // Scan past blank lines for the format tag; running out of lines
     // first means the file is empty. A zero-length shard file is a
@@ -103,25 +243,41 @@ RunCache::mergeFromFile(const std::string &path,
     // and its slice must merge as zero rows: no parse error, no
     // format warning, nothing for the coordinator join to trip on.
     for (;;) {
-        if (!std::getline(in, line))
+        if (!std::getline(in, line)) {
+            if (path == path_)
+                fileState_ = FileState::absent;
             return stats;
+        }
         if (!line.empty() && line != "\r")
             break;
     }
 
+    const bool durable = path == path_;
     std::string sig;
     bool in_section = false;
     if (line == kCacheTagV3) {
         // Sections follow; rows before the first "# config" line
         // (there should be none) are ignored.
+        if (path == path_) {
+            noteLoadedFormat("v3");
+            fileState_ = FileState::cleanV3;
+        }
     } else if (startsWith(line, kCacheTagV2)) {
         // Whole legacy file becomes one preserved-but-unserved
         // section under its old-format signature (see kCacheTagV2).
         sig = line.substr(std::strlen(kCacheTagV2));
         in_section = true;
+        if (path == path_) {
+            noteLoadedFormat("v2");
+            fileState_ = FileState::other;
+        }
     } else {
         warn("ignoring sweep cache %s: unrecognized format tag",
              path.c_str());
+        if (path == path_) {
+            noteLoadedFormat("foreign");
+            fileState_ = FileState::other;
+        }
         return stats;
     }
 
@@ -145,7 +301,7 @@ RunCache::mergeFromFile(const std::string &path,
             // for comparison when the key already exists.
             const RunMetrics *held = find(sig, m.workload, m.policy);
             if (held == nullptr) {
-                appendRow(sig, std::move(m));
+                appendRow(sig, std::move(m), durable);
                 ++stats.rows;
             } else if (!classify_collisions) {
                 ++stats.duplicates;
@@ -164,6 +320,144 @@ RunCache::mergeFromFile(const std::string &path,
         }
     }
     return stats;
+}
+
+RunCache::MergeStats
+RunCache::mergeV4File(const std::string &path, bool classify_collisions)
+{
+    MergeStats stats;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return stats;
+    std::fseek(f, 0, SEEK_END);
+    const long flen = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    // A u64 vector keeps the buffer 8-byte aligned, which is what
+    // parseV4Segment's typed column views require.
+    std::vector<std::uint64_t> words(
+        (static_cast<std::size_t>(flen > 0 ? flen : 0) + 7) / 8, 0);
+    const std::size_t got =
+        flen > 0 ? std::fread(words.data(), 1,
+                              static_cast<std::size_t>(flen), f)
+                 : 0;
+    std::fclose(f);
+    const char *buf = reinterpret_cast<const char *>(words.data());
+
+    const bool durable = path == path_;
+    bool damaged = false;
+    std::size_t off = 0;
+    while (off < got) {
+        V4SegmentView seg;
+        std::string why;
+        if (!parseV4Segment(buf + off, got - off, seg, &why)) {
+            damaged = true;
+            // The damaged tail counts as one parse error, deduped
+            // per (file, offset, reason) like bad text lines so a
+            // checkpoint's re-read does not recount it.
+            const std::string key =
+                path + '\n' +
+                csprintf("segment@%zu:%s", off, why.c_str());
+            if (badLines_.insert(key).second) {
+                ++stats.parseErrors;
+                ++parseErrors_;
+            }
+            warn("sweep cache %s: damaged v4 segment at byte %zu "
+                 "(%s); keeping the %zu row%s of earlier segments",
+                 path.c_str(), off, why.c_str(), stats.rows,
+                 stats.rows == 1 ? "" : "s");
+            break;
+        }
+        mergeV4Segment(seg, classify_collisions, durable, stats);
+        off += seg.bytes;
+    }
+    if (path == path_) {
+        noteLoadedFormat("v4");
+        // A damaged tail must not take appends: a fresh segment
+        // after garbage would be unreachable (readers stop at the
+        // first damaged segment), so the next durable write compacts
+        // instead.
+        fileState_ =
+            damaged ? FileState::other : FileState::cleanV4;
+    }
+    return stats;
+}
+
+void
+RunCache::mergeV4Segment(const V4SegmentView &seg,
+                         bool classify_collisions, bool durable,
+                         MergeStats &stats)
+{
+    const bool bulk =
+        log_->empty() && fresh_.empty() && base_->rows() == 0;
+    if (bulk) {
+        // Loading into an empty cache (the overwhelmingly common
+        // case: a compacted file's one big segment) skips the
+        // per-row find(): the segment is already sorted-unique in
+        // canonical order, so the index builds with end-of-map hints
+        // and publishes directly as the base snapshot.
+        CacheSnapshot::Builder b;
+        std::string sig;
+        for (std::uint64_t i = 0; i < seg.rowCount; ++i) {
+            const V4Key &k = seg.keys[i];
+            RunMetrics m;
+            const std::string_view wl = seg.str(k.workload);
+            const std::string_view pol = seg.str(k.policy);
+            m.workload.assign(wl.data(), wl.size());
+            m.policy.assign(pol.data(), pol.size());
+            unpackV4Row(seg.rows[i], m);
+            log_->push_back(std::move(m));
+            const RunMetrics *row = &log_->back();
+            const std::string_view sv = seg.str(k.sig);
+            sig.assign(sv.data(), sv.size());
+            if (b.addSorted(sig, row)) {
+                ++stats.rows;
+                if (!durable && enabled())
+                    pendingAppend_.emplace_back(sig, row);
+            } else {
+                // Duplicate key inside one segment: impossible in a
+                // file parseV4Segment accepted, but never index a
+                // row we are about to drop.
+                log_->pop_back();
+            }
+        }
+        b.retain(log_);
+        base_ = b.build();
+        return;
+    }
+
+    std::string sig, wl, pol;
+    for (std::uint64_t i = 0; i < seg.rowCount; ++i) {
+        const V4Key &k = seg.keys[i];
+        const std::string_view sv = seg.str(k.sig);
+        const std::string_view wv = seg.str(k.workload);
+        const std::string_view pv = seg.str(k.policy);
+        sig.assign(sv.data(), sv.size());
+        wl.assign(wv.data(), wv.size());
+        pol.assign(pv.data(), pv.size());
+        const RunMetrics *held = find(sig, wl, pol);
+        if (held == nullptr) {
+            RunMetrics m;
+            m.workload = wl;
+            m.policy = pol;
+            unpackV4Row(seg.rows[i], m);
+            appendRow(sig, std::move(m), durable);
+            ++stats.rows;
+        } else if (!classify_collisions) {
+            ++stats.duplicates;
+        } else {
+            // Same dup/conflict test as the text reader: compare the
+            // serialized forms, so v3-loaded and v4-loaded copies of
+            // one row always classify as duplicates.
+            RunMetrics m;
+            m.workload = wl;
+            m.policy = pol;
+            unpackV4Row(seg.rows[i], m);
+            if (held->toCsv() == m.toCsv())
+                ++stats.duplicates;
+            else
+                ++stats.conflicts;
+        }
+    }
 }
 
 void
@@ -221,42 +515,126 @@ RunCache::save()
     // so one sorted index covers everything; the snapshot's
     // canonical section/row order is the file's serialization order.
     std::shared_ptr<const CacheSnapshot> snap = snapshot();
-    // Write-then-rename keeps the cache whole even if a sweep is
-    // interrupted mid-save or two binaries race on the same file;
-    // the pid suffix keeps concurrent processes' tmp files private.
-    std::string tmp = csprintf("%s.%d.tmp", path_.c_str(),
-                               static_cast<int>(::getpid()));
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return false;
-        out << kCacheTagV3 << "\n";
-        for (const auto &[sig, section] : snap->sections()) {
-            out << kSectionTag << sig << "\n";
-            out << RunMetrics::csvHeader() << "\n";
-            for (const auto &[key, m] : section)
-                out << m->toCsv() << "\n";
-        }
-        if (!out.good()) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        warn("could not move sweep cache into place at %s",
-             path_.c_str());
-        std::remove(tmp.c_str());
+    if (!writeSnapshotTo(path_, *snap, format_))
         return false;
+    pendingAppend_.clear();
+    appendedSinceCompact_ = false;
+    fileState_ = format_ == CacheFormat::v4 ? FileState::cleanV4
+                                            : FileState::cleanV3;
+    return true;
+}
+
+bool
+RunCache::exportFile(const std::string &path, CacheFormat format)
+{
+    if (!writeSnapshotTo(path, *snapshot(), format))
+        return false;
+    if (path == path_) {
+        // The export just compacted our own file.
+        pendingAppend_.clear();
+        appendedSinceCompact_ = false;
+        fileState_ = format == CacheFormat::v4 ? FileState::cleanV4
+                                               : FileState::cleanV3;
     }
     return true;
 }
 
+bool
+RunCache::appendPending()
+{
+    // Canonical order *within* the chunk keeps an appended v4
+    // segment binary-searchable and a csv chunk tidy; order across
+    // chunks is the file's append history, and the next compaction
+    // restores the one global canonical order.
+    std::vector<const std::pair<std::string, const RunMetrics *> *>
+        rows;
+    rows.reserve(pendingAppend_.size());
+    for (const auto &entry : pendingAppend_)
+        rows.push_back(&entry);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto *a, const auto *b) {
+                  return std::tie(a->first, a->second->workload,
+                                  a->second->policy) <
+                         std::tie(b->first, b->second->workload,
+                                  b->second->policy);
+              });
+
+    std::string chunk;
+    if (format_ == CacheFormat::v4) {
+        std::vector<V4RowRef> refs;
+        refs.reserve(rows.size());
+        for (const auto *entry : rows) {
+            refs.push_back(V4RowRef{entry->first,
+                                    entry->second->workload,
+                                    entry->second->policy,
+                                    packV4Row(*entry->second)});
+        }
+        chunk = buildV4Segment(refs);
+    } else {
+        // The leading newline terminates any torn partial line a
+        // crashed writer left at the tail, so this chunk's rows
+        // always start at a line boundary; readers skip the blank
+        // line it normally produces.
+        chunk = "\n";
+        std::string_view last_sig;
+        bool have_sig = false;
+        for (const auto *entry : rows) {
+            if (!have_sig || entry->first != last_sig) {
+                chunk += kSectionTag;
+                chunk += entry->first;
+                chunk += '\n';
+                chunk += RunMetrics::csvHeader();
+                chunk += '\n';
+                last_sig = entry->first;
+                have_sig = true;
+            }
+            chunk += entry->second->toCsv();
+            chunk += '\n';
+        }
+    }
+
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(chunk.data(), 1, chunk.size(), f) == chunk.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok)
+        return false;
+    pendingAppend_.clear();
+    appendedSinceCompact_ = true;
+    return true;
+}
+
+void
+RunCache::checkpoint()
+{
+    unsaved_ = 0;
+    if (!enabled() || pendingAppend_.empty())
+        return;
+    const bool appendable =
+        (format_ == CacheFormat::v4 &&
+         fileState_ == FileState::cleanV4) ||
+        (format_ == CacheFormat::csv &&
+         fileState_ == FileState::cleanV3);
+    if (appendable && appendPending())
+        return;
+    if (appendable) {
+        // The append failed partway; the tail is suspect, so only a
+        // compacting rewrite may touch the file from here on.
+        fileState_ = FileState::other;
+    }
+    save();
+}
+
 const RunMetrics *
-RunCache::appendRow(const std::string &sig, RunMetrics m)
+RunCache::appendRow(const std::string &sig, RunMetrics m, bool durable)
 {
     log_->push_back(std::move(m));
     const RunMetrics *row = &log_->back();
     fresh_[sig].emplace(Key{row->workload, row->policy}, row);
+    if (!durable && enabled())
+        pendingAppend_.emplace_back(sig, row);
     return row;
 }
 
@@ -290,10 +668,11 @@ RunCache::insert(const std::string &sig, RunMetrics m)
     if (const RunMetrics *held = find(sig, m.workload, m.policy))
         return *held; // first write wins
     const RunMetrics *stored = appendRow(sig, std::move(m));
-    if (++unsaved_ >= checkpointInterval_) {
-        save();
-        unsaved_ = 0;
-    }
+    // Amortized durability: every K inserts, append the fresh rows
+    // to the file (O(fresh) bytes - NOT a whole-file rewrite, which
+    // would make an N-row sweep cost O(N^2) checkpoint bytes).
+    if (++unsaved_ >= checkpointInterval_)
+        checkpoint();
     return *stored;
 }
 
@@ -337,7 +716,11 @@ RunCache::estimateEvents(const std::string &workload,
 void
 RunCache::flush()
 {
-    if (unsaved_ > 0) {
+    // Compact when anything is pending OR the file holds appended
+    // segments: the flushed file must be the one canonical byte
+    // representation of the row set. A cache that only ever *read*
+    // its file (warm replay) has neither and skips the rewrite.
+    if (!pendingAppend_.empty() || appendedSinceCompact_) {
         save();
         unsaved_ = 0;
     }
@@ -389,9 +772,9 @@ SweepEngine::SweepEngine(std::string cache_path)
 
 SweepEngine::SweepEngine(std::string cache_path, ShardSpec shard)
     : shard_(shard),
-      cache_(shard.active() && !cache_path.empty()
-                 ? shardCachePath(cache_path, shard.index)
-                 : cache_path)
+      cachePath_(shard.active() && !cache_path.empty()
+                     ? shardCachePath(cache_path, shard.index)
+                     : cache_path)
 {
     if (!shard_.active())
         return;
@@ -412,9 +795,9 @@ SweepEngine::SweepEngine(std::string cache_path, ShardSpec shard)
 SweepEngine::SweepEngine(std::string cache_path, FleetWorkerSpec fleet)
     // shard_ stays inactive: a fleet worker owns whatever the
     // coordinator leases it, not a fixed hash slice.
-    : cache_(cache_path.empty()
-                 ? cache_path
-                 : shardCachePath(cache_path, fleet.index))
+    : cachePath_(cache_path.empty()
+                     ? cache_path
+                     : shardCachePath(cache_path, fleet.index))
 {
     if (cache_path.empty()) {
         warn("fleet worker %u with the cache disabled: its results "
@@ -428,12 +811,27 @@ SweepEngine::SweepEngine(std::string cache_path, FleetWorkerSpec fleet)
     warm_.mergeFile(cache_path);
 }
 
+RunCache &
+SweepEngine::cache() const
+{
+    if (cachePtr_ == nullptr)
+        cachePtr_ = std::make_unique<RunCache>(cachePath_);
+    return *cachePtr_;
+}
+
+const char *
+SweepEngine::cacheFileFormat() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache().loadedFormatName();
+}
+
 const RunMetrics *
 SweepEngine::findCached(const std::string &sig,
                         const std::string &workload,
                         const std::string &policy) const
 {
-    if (const RunMetrics *m = cache_.find(sig, workload, policy))
+    if (const RunMetrics *m = cache().find(sig, workload, policy))
         return m;
     return warm_.find(sig, workload, policy);
 }
@@ -442,7 +840,7 @@ double
 SweepEngine::estimateFor(const std::string &workload,
                          const std::string &policy) const
 {
-    return std::max(cache_.estimateEvents(workload, policy),
+    return std::max(cache().estimateEvents(workload, policy),
                     warm_.estimateEvents(workload, policy));
 }
 
@@ -470,7 +868,7 @@ std::size_t
 SweepEngine::cacheParseErrors() const
 {
     std::lock_guard<std::mutex> lk(mu_);
-    return cache_.parseErrors() + warm_.parseErrors();
+    return cache().parseErrors() + warm_.parseErrors();
 }
 
 const RunMetrics &
@@ -504,11 +902,11 @@ SweepEngine::get(const SimConfig &cfg, const std::string &workload,
         // both computed identical metrics, keep the first.
         return *prior;
     }
-    const RunMetrics &stored = cache_.insert(sig, std::move(m));
-    // Interactive single runs are rare and expensive: persist each
-    // one immediately (the amortized checkpointing is for run()'s
-    // batch path, where a write per run would be O(N^2) I/O).
-    cache_.flush();
+    const RunMetrics &stored = cache().insert(sig, std::move(m));
+    // Interactive single runs are rare and expensive: make each one
+    // durable immediately with an O(1)-row append (run()'s batch
+    // path amortizes instead).
+    cache().checkpoint();
     return stored;
 }
 
@@ -637,7 +1035,7 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
                 try {
                     RunMetrics m = runJob(job, sys, sys_structure);
                     std::lock_guard<std::mutex> lk(mu_);
-                    cache_.insert(job.sig, std::move(m));
+                    cache().insert(job.sig, std::move(m));
                 } catch (...) {
                     std::lock_guard<std::mutex> lk(error_mu);
                     if (!error)
@@ -668,7 +1066,7 @@ SweepEngine::run(const std::vector<RunRequest> &requests, unsigned jobs)
         // a truncated cache cannot pass for a cold one - how many
         // cache rows were lost to parse errors.
         std::lock_guard<std::mutex> lk(mu_);
-        const std::size_t lost = cache_.parseErrors() +
+        const std::size_t lost = cache().parseErrors() +
                                  warm_.parseErrors();
         inform("sweep batch done: %zu simulated, %zu cache parse "
                "error%s",
@@ -744,12 +1142,14 @@ SweepEngine::runFleet(const std::vector<RunRequest> &requests,
             Job job{&req, sig, 0.0, key};
             RunMetrics m = runJob(job, sys, sys_structure);
             std::lock_guard<std::mutex> lk(mu_);
-            cache_.insert(sig, std::move(m));
+            cache().insert(sig, std::move(m));
             // Checkpoint before reporting done: the coordinator
             // retires a key on `done`, so the row must already be
             // durable in the shard cache - this ordering is the
-            // whole crash-safety contract.
-            cache_.flush();
+            // whole crash-safety contract. The checkpoint appends
+            // the fresh rows (O(fresh) bytes); making every run
+            // durable no longer costs a whole-file rewrite per run.
+            cache().checkpoint();
         }
         bool fresh = client.done(id, key);
         std::lock_guard<std::mutex> lk(stats_mu);
@@ -856,14 +1256,17 @@ void
 SweepEngine::flush()
 {
     std::lock_guard<std::mutex> lk(mu_);
-    cache_.flush();
+    // An untouched lazy cache has nothing to flush; constructing it
+    // here would force the file parse that mmap-serving avoided.
+    if (cachePtr_ != nullptr)
+        cachePtr_->flush();
 }
 
 std::shared_ptr<const CacheSnapshot>
 SweepEngine::snapshot()
 {
     std::lock_guard<std::mutex> lk(mu_);
-    std::shared_ptr<const CacheSnapshot> own = cache_.snapshot();
+    std::shared_ptr<const CacheSnapshot> own = cache().snapshot();
     std::shared_ptr<const CacheSnapshot> side = warm_.snapshot();
     if (side->rows() == 0)
         return own;

@@ -70,6 +70,30 @@ class FleetClient;
  */
 std::string sweepCachePathFromEnv();
 
+/**
+ * On-disk serialization a RunCache writes. Reading always sniffs the
+ * file (v4 magic / v3 tag / legacy v2 tag), so any cache loads under
+ * either setting; the format only decides what saves produce.
+ *
+ *  - v4: binary columnar segments (cache_v4.hh) - interned sorted
+ *    keys, fixed-width metric columns, checksummed footers, mmap'd
+ *    zero-copy serving, O(fresh) checkpoint appends. The default.
+ *  - csv: the v3 text format, byte-identical to what pre-v4 builds
+ *    wrote - for diffing, grep, and foreign tooling.
+ */
+enum class CacheFormat
+{
+    v4,
+    csv,
+};
+
+/** MIGC_CACHE_FORMAT: "v4" (default) or "csv" ("v3" accepted as an
+ *  alias); anything else is fatal. */
+CacheFormat cacheFormatFromEnv();
+
+/** "v4" / "csv" for messages and manifests. */
+const char *cacheFormatName(CacheFormat format);
+
 /** One grid point: run @p workload under @p policy on @p cfg. */
 struct RunRequest
 {
@@ -105,7 +129,9 @@ struct FleetWorkerSpec
 /**
  * Multi-config on-disk result store.
  *
- * The file holds one section per configuration signature:
+ * On disk the cache is either a v4 binary columnar file
+ * (cache_v4.hh) or a v3 text file of one section per configuration
+ * signature:
  *
  *   # migc-sweep-v3
  *   # config <signature>
@@ -114,13 +140,30 @@ struct FleetWorkerSpec
  *   # config <signature'>
  *   ...
  *
- * Sections whose signature belongs to some other configuration are
- * preserved across save cycles, so binaries with different configs
- * can share one cache path without clobbering each other. Legacy
- * single-config v2 files import as one such foreign section: their
- * rows are preserved, but never served, because the old signature
- * format aliased structurally different configs (see
- * kCacheTagV2 in sweep_engine.cc).
+ * Reads sniff the format, so v3 and legacy v2 files load
+ * transparently no matter what CacheFormat this cache writes, and a
+ * save migrates the file. Sections whose signature belongs to some
+ * other configuration are preserved across save cycles, so binaries
+ * with different configs can share one cache path without clobbering
+ * each other. Legacy single-config v2 files import as one such
+ * foreign section: their rows are preserved, but never served,
+ * because the old signature format aliased structurally different
+ * configs (see kCacheTagV2 in sweep_engine.cc).
+ *
+ * Durability is two-tier. checkpoint() appends only the rows
+ * inserted since the last durable write - one small segment (v4) or
+ * section chunk (csv) at the end of the file, O(fresh) bytes, which
+ * is what the amortized insert checkpointing and the fleet's
+ * checkpoint-before-done contract use; a sweep writing N rows costs
+ * O(N) total bytes instead of the O(N^2) of rewriting the file at
+ * every checkpoint. flush()/saveNow() compact: one canonical sorted
+ * rewrite via tmp+rename, so the *final* file bytes are a pure
+ * function of the row set - identical across job counts, steal
+ * schedules, and crash/resume histories - and a once-appended file
+ * never stays fragmented past the next flush. A torn append (crash
+ * mid-write) is detected on load (v4: footer checksum; csv: the
+ * partial line fails to parse), costs only the torn rows, and is
+ * cleaned up by the next compaction.
  *
  * An empty path disables disk I/O; results are then memoized in
  * memory only (the MIGC_NO_CACHE=1 behavior).
@@ -143,8 +186,13 @@ struct FleetWorkerSpec
 class RunCache
 {
   public:
+    /** Write format from MIGC_CACHE_FORMAT (default v4). */
     explicit RunCache(std::string path,
                       std::size_t checkpoint_interval = 8);
+
+    /** Explicit write format (tests, converters). */
+    RunCache(std::string path, std::size_t checkpoint_interval,
+             CacheFormat format);
 
     /** Flushes pending results (best effort). */
     ~RunCache();
@@ -153,6 +201,14 @@ class RunCache
     RunCache &operator=(const RunCache &) = delete;
 
     bool enabled() const { return !path_.empty(); }
+
+    /** The serialization saves write. */
+    CacheFormat format() const { return format_; }
+
+    /** Format the initial load found on disk: "v4", "v3", "v2",
+     *  "foreign" (unrecognized), or "none" (missing/empty file).
+     *  Operator-facing (migc_serve stats). */
+    const char *loadedFormatName() const;
 
     /** What one mergeFile() call found in its input. */
     struct MergeStats
@@ -175,11 +231,11 @@ class RunCache
     };
 
     /**
-     * Union another cache file (v3 or legacy v2) into memory without
-     * writing anything; rows already held win. This is how a shard
-     * worker warm-starts from the canonical cache and how the
-     * coordinator folds shard files back in (shard.hh). A missing
-     * file merges zero rows.
+     * Union another cache file (v4, v3, or legacy v2 - sniffed) into
+     * memory without writing anything; rows already held win. This
+     * is how a shard worker warm-starts from the canonical cache and
+     * how the coordinator folds shard files back in (shard.hh). A
+     * missing file merges zero rows.
      */
     MergeStats mergeFile(const std::string &path);
 
@@ -193,12 +249,21 @@ class RunCache
     std::size_t parseErrors() const { return parseErrors_; }
 
     /**
-     * Write the file now even if nothing is pending (merge join).
+     * Compact the file now even if nothing is pending (merge join).
      * @return false when the file could not be written or moved
      * into place (callers that consume other files on the strength
      * of this write - the coordinator merge - must check).
      */
     bool saveNow();
+
+    /**
+     * Write the current contents to @p path in @p format (tmp +
+     * rename; this cache's own file and state are untouched unless
+     * @p path aliases it). The CSV export of a v4 cache is
+     * byte-identical to the v3 file a pure-text pipeline would have
+     * written for the same rows.
+     */
+    bool exportFile(const std::string &path, CacheFormat format);
 
     /** Result for (sig, workload, policy), or nullptr. Stable. */
     const RunMetrics *find(const std::string &sig,
@@ -207,16 +272,28 @@ class RunCache
 
     /**
      * Record a completed run under @p sig (first write wins). The
-     * file is checkpointed after every checkpoint_interval inserts;
-     * call flush() when a sweep finishes. Fatal on rows the cache
-     * cannot round-trip: placeholder rows (all-zero shard stand-ins
-     * must never be persisted as results) and workload/policy names
-     * containing v3 metacharacters (',', line breaks, leading '#' -
-     * they would reload as parse errors and the result would be
-     * silently lost; see sim/names.hh).
+     * file is checkpointed (appended to) after every
+     * checkpoint_interval inserts; call flush() when a sweep
+     * finishes. Fatal on rows the cache cannot round-trip:
+     * placeholder rows (all-zero shard stand-ins must never be
+     * persisted as results) and workload/policy names containing v3
+     * metacharacters (',', line breaks, leading '#' - they would
+     * reload as parse errors and the result would be silently lost;
+     * see sim/names.hh).
      * @return the stored row (stable reference).
      */
     const RunMetrics &insert(const std::string &sig, RunMetrics m);
+
+    /**
+     * Make every in-memory row durable cheaply: append the rows
+     * inserted since the last durable write to the end of the file
+     * (O(fresh) bytes), falling back to a full compacting save when
+     * the file cannot take an append (different/damaged format,
+     * torn tail, first write). This is the fleet worker's
+     * checkpoint-before-done primitive; the file stays fragmented
+     * until the next flush()/saveNow() compacts it.
+     */
+    void checkpoint();
 
     /**
      * The current contents as an immutable snapshot: publishes any
@@ -237,7 +314,9 @@ class RunCache
     double estimateEvents(const std::string &workload,
                           const std::string &policy) const;
 
-    /** Write the file now if any un-checkpointed results exist. */
+    /** Compact the file now if any unpersisted rows or un-compacted
+     *  appends exist, so a finished sweep always leaves the one
+     *  canonical byte representation of its row set. */
     void flush();
 
     /** Total rows across all sections (tests / introspection). */
@@ -248,6 +327,17 @@ class RunCache
 
     /** Index of appended-but-unpublished rows in one section. */
     using FreshSection = std::map<Key, const RunMetrics *>;
+
+    /** What the on-disk file currently is, as far as appends care:
+     *  only a clean file of our own write format takes appends;
+     *  everything else forces the next durable write to compact. */
+    enum class FileState
+    {
+        absent,   ///< missing or empty
+        cleanV4,  ///< v4, no damaged tail seen
+        cleanV3,  ///< v3 text
+        other,    ///< v2 / foreign / torn v4 tail
+    };
 
     void load();
 
@@ -266,21 +356,65 @@ class RunCache
     MergeStats mergeFromFile(const std::string &path,
                              bool classify_collisions = true);
 
+    /** The v3/v2 text reader behind mergeFromFile(). */
+    MergeStats mergeTextFile(const std::string &path,
+                             bool classify_collisions);
+
+    /** The v4 segment reader behind mergeFromFile(). */
+    MergeStats mergeV4File(const std::string &path,
+                           bool classify_collisions);
+
+    /** Merge one parsed v4 segment. @p durable marks rows already in
+     *  this cache's own file. */
+    void mergeV4Segment(const struct V4SegmentView &seg,
+                        bool classify_collisions, bool durable,
+                        MergeStats &stats);
+
+    /** Record what the initial load found (first observation only). */
+    void noteLoadedFormat(const char *format);
+
     /** Shared warning text for merge problems found in @p path. */
     static void warnMergeProblems(const std::string &path,
                                   const MergeStats &stats);
 
-    /** @return true when the file reached disk (or I/O is off). */
+    /** Compacting rewrite: pre-merge the file, then write the whole
+     *  snapshot via tmp+rename. @return true when the file reached
+     *  disk (or I/O is off). */
     bool save();
 
+    /** Append pendingAppend_ as one segment / section chunk at the
+     *  end of the file. @return false when the write failed (the
+     *  caller falls back to save()). */
+    bool appendPending();
+
     /** Append @p m to the row log and index it in fresh_; the row
-     *  address is stable for the log's lifetime. */
-    const RunMetrics *appendRow(const std::string &sig, RunMetrics m);
+     *  address is stable for the log's lifetime. @p durable marks
+     *  rows that are already bytes in this cache's own file (initial
+     *  load / pre-write merge) and therefore never need appending. */
+    const RunMetrics *appendRow(const std::string &sig, RunMetrics m,
+                                bool durable = false);
 
     std::string path_;
     std::size_t checkpointInterval_;
+    CacheFormat format_;
     std::size_t unsaved_ = 0;
     std::size_t parseErrors_ = 0;
+
+    /** See FileState. */
+    FileState fileState_ = FileState::absent;
+
+    /** First format the load sniffed; nullptr until something was. */
+    const char *loadedFormat_ = nullptr;
+
+    /** Rows inserted/merged since the last durable write of this
+     *  file, in arrival order: exactly what checkpoint() appends. */
+    std::vector<std::pair<std::string, const RunMetrics *>>
+        pendingAppend_;
+
+    /** True when checkpoint() appended since the last compaction,
+     *  so flush() knows the file needs its canonical rewrite even
+     *  if nothing is pending. */
+    bool appendedSinceCompact_ = false;
 
     /** (source path, line) pairs already counted as parse errors:
      *  re-reading the same damaged file dedupes, while the same
@@ -413,6 +547,11 @@ class SweepEngine
      */
     std::shared_ptr<const CacheSnapshot> snapshot();
 
+    /** The writable cache's on-disk format at load ("v4", "v3",
+     *  "v2", "foreign", "none"); loads the cache if this engine has
+     *  not touched it yet. Operator-facing (migc_serve stats). */
+    const char *cacheFileFormat() const;
+
     /** Simulations actually executed (cache misses). */
     std::uint64_t simulationsPerformed() const { return sims_.load(); }
 
@@ -464,9 +603,25 @@ class SweepEngine
     double estimateFor(const std::string &workload,
                        const std::string &policy) const;
 
+    /**
+     * The writable cache, constructed (and its file loaded) on
+     * first touch. The laziness is what lets migc_serve answer its
+     * first queries from an mmap'd snapshot without this engine
+     * ever parsing the file - the cache materializes only when the
+     * first cold miss needs it. Caller holds mu_ (or is a
+     * constructor/destructor).
+     */
+    RunCache &cache() const;
+
     mutable std::mutex mu_;
     ShardSpec shard_;
-    RunCache cache_;
+
+    /** Resolved path cache() opens (shard/fleet workers: their
+     *  private shard file). */
+    std::string cachePath_;
+
+    /** See cache(). */
+    mutable std::unique_ptr<RunCache> cachePtr_;
 
     /** Injected per-run straggler delay (setInjectedRunDelayMs). */
     unsigned slowMs_ = 0;
@@ -474,9 +629,9 @@ class SweepEngine
     /**
      * Read-only results imported from the canonical cache when this
      * engine is a shard worker (memory-only: constructed with an
-     * empty path, so it never writes). Keeping these out of cache_
-     * keeps the shard file down to this worker's own fresh rows
-     * instead of a full copy of the canonical cache.
+     * empty path, so it never writes). Keeping these out of the
+     * writable cache keeps the shard file down to this worker's own
+     * fresh rows instead of a full copy of the canonical cache.
      */
     RunCache warm_{std::string()};
     std::atomic<std::uint64_t> sims_{0};

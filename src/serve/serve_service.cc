@@ -1,7 +1,9 @@
 #include "serve/serve_service.hh"
 
+#include <chrono>
 #include <exception>
 
+#include "core/cache_v4.hh"
 #include "policy/policy_registry.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
@@ -9,13 +11,52 @@
 namespace migc
 {
 
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
 ServeService::ServeService(SweepEngine &engine)
     : ServeService(engine, Options())
 {}
 
 ServeService::ServeService(SweepEngine &engine, Options opts)
-    : engine_(engine), opts_(opts), snapshot_(engine.snapshot())
+    : engine_(engine), opts_(opts)
 {
+    // Zero-copy start when possible: map the cache file and serve
+    // straight from its interned columns, deferring the engine's
+    // parsing loader to the first cold miss. Any non-mappable file
+    // (csv text, appended-but-not-compacted v4, torn tail, missing)
+    // takes the classic parse-into-snapshot path.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const CacheSnapshot> snap;
+    if (!opts_.cachePath.empty()) {
+        std::string why;
+        if (auto file = MappedCacheV4::map(opts_.cachePath, &why)) {
+            snap = CacheSnapshot::fromMappedFile(std::move(file));
+            format_ = "v4-mmap";
+        } else {
+            inform("serve: cache %s is not mmap-servable (%s); "
+                   "parsing it instead",
+                   opts_.cachePath.c_str(), why.c_str());
+        }
+    }
+    if (snap == nullptr) {
+        snap = engine_.snapshot();
+        format_ = engine_.cacheFileFormat();
+    }
+    loadMs_ = msSince(t0);
+    snapshot_.store(std::move(snap));
+
     presets_.emplace("default", SimConfig::defaultConfig());
     presets_.emplace("paper", SimConfig::paperConfig());
     presets_.emplace("test", SimConfig::testConfig());
@@ -61,10 +102,15 @@ ServeService::handleGet(const ServeRequest &req)
     std::string sig;
     const SimConfig *cfg = configFor(req.config, sig);
     std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
-    if (const RunMetrics *row = snap->find(sig, req.workload,
-                                           req.policy)) {
+    // findCsv works on both snapshot representations: a mapped
+    // snapshot answers by interned-id binary search with no
+    // materialized rows to point at, so the serialization-level
+    // query is the one serving interface.
+    std::string out;
+    if (snap->findCsv(sig, req.workload, req.policy, out)) {
         served_.fetch_add(1, std::memory_order_relaxed);
-        return row->toCsv() + "\n";
+        out += '\n';
+        return out;
     }
 
     const std::string point = csprintf(
@@ -95,10 +141,10 @@ ServeService::handleGet(const ServeRequest &req)
     // genuinely never been enqueued - each cold grid point enqueues
     // exactly one simulation no matter how many clients ask.
     snap = snapshot_.load();
-    if (const RunMetrics *row = snap->find(sig, req.workload,
-                                           req.policy)) {
+    if (snap->findCsv(sig, req.workload, req.policy, out)) {
         served_.fetch_add(1, std::memory_order_relaxed);
-        return row->toCsv() + "\n";
+        out += '\n';
+        return out;
     }
     if (pending_.count(key)) {
         return csprintf(
@@ -128,14 +174,13 @@ ServeService::handleMatch(const ServeRequest &req)
         sig_pattern = pit->second.signature();
 
     std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
-    std::vector<const RunMetrics *> rows =
-        snap->match(sig_pattern, req.workload, req.policy);
     std::string out;
-    for (const RunMetrics *row : rows)
-        out += row->toCsv() + "\n";
-    served_.fetch_add(rows.size(), std::memory_order_relaxed);
-    out += csprintf("# matched %zu row%s\n", rows.size(),
-                    rows.size() == 1 ? "" : "s");
+    // matchCsv evaluates each glob once per distinct interned string
+    // on a mapped snapshot (not once per row) before scanning keys.
+    const std::size_t n =
+        snap->matchCsv(sig_pattern, req.workload, req.policy, out);
+    served_.fetch_add(n, std::memory_order_relaxed);
+    out += csprintf("# matched %zu row%s\n", n, n == 1 ? "" : "s");
     return out;
 }
 
@@ -144,18 +189,25 @@ ServeService::handleStats()
 {
     std::shared_ptr<const CacheSnapshot> snap = snapshot_.load();
     std::size_t pending;
+    std::uint64_t publishes;
+    double publish_ms;
     {
         std::lock_guard<std::mutex> lk(missMu_);
         pending = pending_.size();
+        publishes = publishes_;
+        publish_ms = lastPublishMs_;
     }
     return csprintf(
         "# stats rows=%zu sections=%zu served=%llu "
-        "miss-enqueues=%llu pending=%zu simulated=%llu\n",
-        snap->rows(), snap->sections().size(),
+        "miss-enqueues=%llu pending=%zu simulated=%llu "
+        "format=%s load_ms=%.1f publishes=%llu publish_ms=%.1f\n",
+        snap->rows(), snap->sectionCount(),
         static_cast<unsigned long long>(served_.load()),
         static_cast<unsigned long long>(enqueued_.load()), pending,
         static_cast<unsigned long long>(
-            engine_.simulationsPerformed()));
+            engine_.simulationsPerformed()),
+        format_.c_str(), loadMs_,
+        static_cast<unsigned long long>(publishes), publish_ms);
 }
 
 std::string
@@ -231,11 +283,19 @@ ServeService::missWorker()
             warn("simulate-on-miss for %s/%s failed: %s",
                  job.workload.c_str(), job.policy.c_str(), e.what());
         }
-        // Publish before erasing from pending_ (see handleGet).
+        // Publish before erasing from pending_ (see handleGet). On a
+        // service that started mmap'd, the first publish is also the
+        // switch to a materialized snapshot: engine_.snapshot() made
+        // the engine parse the cache file (same rows, plus the fresh
+        // one), so nothing the mapped snapshot served is lost.
+        const auto t0 = std::chrono::steady_clock::now();
         snapshot_.store(engine_.snapshot());
+        const double publish_ms = msSince(t0);
         {
             std::lock_guard<std::mutex> lk(missMu_);
             pending_.erase(job.key);
+            ++publishes_;
+            lastPublishMs_ = publish_ms;
         }
         drainCv_.notify_all();
     }

@@ -56,6 +56,18 @@ class ServeService
         /** When false, cold points answer '# miss' without ever
          *  enqueueing a simulation (pure warm-cache mode). */
         bool simulate = true;
+
+        /**
+         * The cache file backing @p engine. When set and the file is
+         * a clean single-segment v4 cache, the service starts on a
+         * zero-copy mmap'd snapshot (cache_v4.hh): serving begins
+         * after a map + checksum pass instead of a full parse, and
+         * the engine's own loader runs only if a cold miss needs a
+         * simulation (the first publish then swaps in a materialized
+         * snapshot). Unset - or any non-mappable file - falls back
+         * to engine.snapshot(), which parses the cache.
+         */
+        std::string cachePath;
     };
 
     /**
@@ -91,6 +103,18 @@ class ServeService
      *  point counts exactly once; repeats join the pending job). */
     std::uint64_t missEnqueues() const { return enqueued_.load(); }
 
+    /** How the initial serving snapshot came to be: "v4-mmap" for a
+     *  zero-copy mapped start, else the cache file's parsed format
+     *  ("v4", "v3", "v2", "foreign", "none"). */
+    const std::string &snapshotFormat() const { return format_; }
+
+    /** Wall time the initial snapshot took (map+checksum or full
+     *  parse), in milliseconds. */
+    double loadMs() const { return loadMs_; }
+
+    /** Rows in the currently served snapshot. */
+    std::size_t snapshotRows() const { return snapshot_.load()->rows(); }
+
   private:
     /** (sig, workload, policy) - one grid point. */
     using PointKey = std::tuple<std::string, std::string, std::string>;
@@ -120,6 +144,10 @@ class ServeService
     SweepEngine &engine_;
     Options opts_;
 
+    /** See snapshotFormat() / loadMs(). Set once in the ctor. */
+    std::string format_;
+    double loadMs_ = 0.0;
+
     /** Preset configs by name and by signature. */
     std::map<std::string, SimConfig> presets_;
     std::map<std::string, std::string> sigToPreset_;
@@ -137,6 +165,11 @@ class ServeService
     std::deque<MissJob> queue_;
     std::set<PointKey> pending_; ///< queued or in flight
     bool stop_ = false;
+
+    /** Snapshot publications by the miss worker and the wall time of
+     *  the latest one (guarded by missMu_; stats reporting). */
+    std::uint64_t publishes_ = 0;
+    double lastPublishMs_ = 0.0;
 
     std::thread worker_;
 };

@@ -99,6 +99,9 @@ TEST(ExperimentSweep, CacheRoundTripBySignature)
     std::remove(path.c_str());
     ScopedEnv cache("MIGC_SWEEP_CACHE", path.c_str());
     ScopedEnv no_cache("MIGC_NO_CACHE", nullptr);
+    // This test asserts the v3 text layout line by line; run the
+    // engine in csv mode (the v4 binary path has its own tests).
+    ScopedEnv fmt("MIGC_CACHE_FORMAT", "csv");
 
     SimConfig cfg = SimConfig::testConfig();
     RunMetrics first;
@@ -173,6 +176,8 @@ TEST(ExperimentSweep, LegacyV2CacheIsPreservedButNeverServed)
 {
     const std::string path = tempCachePath("legacy_v2");
     std::remove(path.c_str());
+    // The rewrite layout being asserted below is v3 text.
+    ScopedEnv fmt("MIGC_CACHE_FORMAT", "csv");
 
     // A real pre-multi-config cache: "# migc-sweep-v2 <sig>" header
     // in the OLD signature format (no structure hash) and rows
@@ -450,16 +455,11 @@ TEST(ExperimentSweep, PrefetchFillsTheGridWithoutResimulation)
     ExperimentSweep sweep(cfg);
     sweep.prefetch({"Uncached"});
 
-    // Every workload row must now be in the cache file.
-    std::ifstream in(path);
-    std::string line;
-    std::size_t rows = 0;
-    while (std::getline(in, line)) {
-        RunMetrics m;
-        if (RunMetrics::fromCsv(line, m))
-            ++rows;
-    }
-    EXPECT_EQ(rows, workloadOrder().size());
+    // Every workload row must now be in the cache file. Count them
+    // through RunCache so the check holds for v4 binary (the
+    // default) and csv alike.
+    RunCache rows(path, 8);
+    EXPECT_EQ(rows.size(), workloadOrder().size());
 
     // A second sweep over the same grid replays from disk.
     ExperimentSweep warm(cfg);

@@ -92,18 +92,17 @@ allPending(std::size_t n)
     return pending;
 }
 
-/** Does the file hold at least one parseable result row yet? */
+/** Does the file hold at least one parseable result row yet?
+ *  Loads through RunCache so the probe is format-agnostic (the
+ *  worker may checkpoint v4 binary or csv text). */
 bool
 hasCheckpointedRow(const std::string &path)
 {
-    std::ifstream in(path);
-    std::string line;
-    RunMetrics m;
-    while (std::getline(in, line)) {
-        if (RunMetrics::fromCsv(line, m))
-            return true;
-    }
-    return false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    RunCache probe(path, 8);
+    return probe.size() > 0;
 }
 
 } // namespace
