@@ -15,24 +15,23 @@
  *    client. EOF drains pending misses, flushes the cache, exits.
  *    `migc_serve <<< 'match default * *'` is a complete session.
  *
- *  - --socket PATH: AF_UNIX stream socket, one thread per
+ *  - --socket SPEC: a stream socket (unix:<path>, tcp:<host>:<port>,
+ *    or a bare AF_UNIX path - serve/transport.hh), one thread per
  *    connection, any number of concurrent clients. Runs until
  *    killed.
  */
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/sweep_engine.hh"
 #include "serve/serve_service.hh"
+#include "serve/transport.hh"
 #include "sim/logging.hh"
 
 namespace
@@ -45,7 +44,7 @@ usage(const char *argv0, int code)
 {
     std::fprintf(
         code == 0 ? stdout : stderr,
-        "usage: %s [--cache PATH] [--socket PATH] [--no-simulate]\n"
+        "usage: %s [--cache PATH] [--socket SPEC] [--no-simulate]\n"
         "\n"
         "Serve sweep-cache results over a line protocol (docs/"
         "SERVE.md).\n"
@@ -53,8 +52,9 @@ usage(const char *argv0, int code)
         "  --cache PATH    sweep cache file to serve (default: "
         "MIGC_SWEEP_CACHE\n"
         "                  or mi_sweep_cache.csv)\n"
-        "  --socket PATH   listen on an AF_UNIX socket instead of "
-        "stdin/stdout\n"
+        "  --socket SPEC   listen on unix:<path>, tcp:<host>:<port>, "
+        "or a bare\n"
+        "                  AF_UNIX path instead of stdin/stdout\n"
         "  --no-simulate   answer cold points with '# miss' instead "
         "of simulating\n",
         argv0);
@@ -63,12 +63,12 @@ usage(const char *argv0, int code)
 
 /** One connection: read request lines, write responses. */
 void
-serveStream(ServeService &service, int fd)
+serveStream(ServeService &service, Stream &stream)
 {
     std::string buf;
     char chunk[4096];
     for (;;) {
-        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        ssize_t n = stream.read(chunk, sizeof(chunk));
         if (n <= 0)
             break;
         buf.append(chunk, static_cast<std::size_t>(n));
@@ -77,46 +77,26 @@ serveStream(ServeService &service, int fd)
             std::string reply =
                 service.handleLine(buf.substr(0, nl));
             buf.erase(0, nl + 1);
-            std::size_t off = 0;
-            while (off < reply.size()) {
-                ssize_t w = ::write(fd, reply.data() + off,
-                                    reply.size() - off);
-                if (w <= 0)
-                    return;
-                off += static_cast<std::size_t>(w);
-            }
+            if (!reply.empty() && !stream.writeAll(reply))
+                return;
         }
     }
 }
 
 int
-serveSocket(ServeService &service, const std::string &path)
+serveSocket(ServeService &service, const std::string &spec)
 {
-    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    fatal_if(listener < 0, "socket(AF_UNIX): %s",
-             std::strerror(errno));
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    fatal_if(path.size() >= sizeof(addr.sun_path),
-             "socket path too long (%zu bytes, max %zu): %s",
-             path.size(), sizeof(addr.sun_path) - 1, path.c_str());
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(path.c_str()); // stale socket from a previous run
-    fatal_if(::bind(listener, reinterpret_cast<sockaddr *>(&addr),
-                    sizeof(addr)) != 0,
-             "bind(%s): %s", path.c_str(), std::strerror(errno));
-    fatal_if(::listen(listener, 16) != 0, "listen(%s): %s",
-             path.c_str(), std::strerror(errno));
+    Listener listener;
+    listener.bind(parseEndpoint(spec));
     inform("serving on %s (one thread per connection; kill to stop)",
-           path.c_str());
+           listener.bound().spec().c_str());
     for (;;) {
-        int fd = ::accept(listener, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        std::thread([&service, fd] {
-            serveStream(service, fd);
-            ::close(fd);
+        std::unique_ptr<Stream> conn = listener.accept();
+        if (conn == nullptr)
+            return 0; // stopped (or a non-transient accept error)
+        std::shared_ptr<Stream> stream(std::move(conn));
+        std::thread([&service, stream] {
+            serveStream(service, *stream);
         }).detach();
     }
 }

@@ -43,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -80,9 +81,11 @@ struct Options
     bool convert = false;    // rewrite the cache in --cache-format
     std::string exportPath;  // write a copy there in --cache-format
 
-    // Fleet (elastic lease queue) options.
+    // Fleet (elastic lease queue) options. Sockets are endpoint
+    // specs: unix:<path>, tcp:<host>:<port>, or a bare AF_UNIX path.
     std::string fleetSocket;  // worker: coordinator socket to join
     std::string listenSocket; // coordinator: serve leases, don't fork
+    bool push = false;        // worker: force shard push over the wire
     bool resume = false;      // fold partial shard caches into plan
     unsigned leaseSize = 2;   // keys per lease
     unsigned renewMs = 10000; // lease renew deadline
@@ -110,11 +113,19 @@ usage(const char *argv0)
         "  --shard-index I        run as worker I in [0, N): a fleet\n"
         "                         worker with --fleet, else the static\n"
         "                         hash-partition worker\n"
-        "  --fleet SOCK           lease work from the coordinator\n"
-        "                         socket instead of a static slice\n"
-        "  --listen SOCK          coordinate on SOCK without forking\n"
+        "  --fleet SPEC           lease work from the coordinator at\n"
+        "                         SPEC instead of a static slice;\n"
+        "                         SPEC is unix:<path>, tcp:<host>:<port>,\n"
+        "                         or a bare AF_UNIX path\n"
+        "  --listen SPEC          coordinate on SPEC without forking\n"
         "                         workers (start them by hand; see\n"
-        "                         --manifest); merges when drained\n"
+        "                         --manifest); merges when drained.\n"
+        "                         tcp:<host>:0 binds an ephemeral port\n"
+        "                         and prints the real one\n"
+        "  --push                 workers upload their shard cache to\n"
+        "                         the coordinator before each done\n"
+        "                         (default for tcp: endpoints - no\n"
+        "                         shared filesystem assumed)\n"
         "  --resume               re-enqueue only keys absent from the\n"
         "                         canonical cache and the partial\n"
         "                         <cache>.shard* files of a crashed or\n"
@@ -208,6 +219,8 @@ parseArgs(int argc, char **argv)
             opt.fleetSocket = need(i++);
         } else if (arg == "--listen") {
             opt.listenSocket = need(i++);
+        } else if (arg == "--push") {
+            opt.push = true;
         } else if (arg == "--resume") {
             opt.resume = true;
         } else if (arg == "--lease-size") {
@@ -265,11 +278,14 @@ parseArgs(int argc, char **argv)
     fatal_if(!opt.listenSocket.empty() && opt.shardIndex >= 0,
              "--listen coordinates; it cannot also be worker %d",
              opt.shardIndex);
-    fatal_if((opt.merge || opt.manifest) &&
-                 (!opt.fleetSocket.empty() ||
-                  !opt.listenSocket.empty()),
-             "--merge/--manifest cannot be combined with "
-             "--fleet/--listen");
+    fatal_if(opt.merge && (!opt.fleetSocket.empty() ||
+                           !opt.listenSocket.empty()),
+             "--merge cannot be combined with --fleet/--listen");
+    // --manifest --listen SPEC prints commands for that endpoint (the
+    // multi-host workflow); --manifest --fleet is still meaningless
+    // (a manifest describes a whole fleet, not one worker).
+    fatal_if(opt.manifest && !opt.fleetSocket.empty(),
+             "--manifest cannot be combined with --fleet");
     fatal_if(opt.resume && !opt.fleetSocket.empty(),
              "--resume is a coordinator option (workers just lease "
              "whatever the resumed plan still needs)");
@@ -361,6 +377,9 @@ workerArgs(const std::string &argv0, const Options &opt,
     if (opt.jobs > 0) {
         args.push_back("--jobs");
         args.push_back(std::to_string(opt.jobs));
+    }
+    if (opt.push) {
+        args.push_back("--push");
     }
     if (opt.slowWorkerIndex >= 0 &&
         static_cast<unsigned>(opt.slowWorkerIndex) == index) {
@@ -478,11 +497,35 @@ runFleetWorker(const Options &opt, const std::string &cache)
     SimConfig cfg = makeConfig(opt);
     std::vector<RunRequest> requests = buildGrid(opt, cfg);
     const unsigned index = static_cast<unsigned>(opt.shardIndex);
+
+    // Push is the no-shared-filesystem mode: forced by --push, and
+    // the default over TCP (a tcp: coordinator is presumed to be on
+    // another machine; a unix: one shares our filesystem, where
+    // pushing would just re-store files the merge already reads).
+    FleetClientOptions copts;
+    copts.gridSize = requests.size();
+    copts.push =
+        opt.push ||
+        parseEndpoint(opt.fleetSocket).kind == Endpoint::Kind::tcp;
+
+    // The client connects before the engine opens any cache file so
+    // a restarted worker can fetch its own pre-crash checkpoint back
+    // from the coordinator's shard store first.
+    FleetClient client(opt.fleetSocket, index,
+                       gridFingerprint(requests), copts);
+    if (copts.push) {
+        const std::string shard_file = shardCachePath(cache, index);
+        std::ifstream probe(shard_file);
+        if (!probe && client.fetchShard(index, shard_file)) {
+            inform("worker %u: fetched its stored shard cache back "
+                   "from the coordinator",
+                   index);
+        }
+    }
+
     SweepEngine engine(cache, FleetWorkerSpec{index});
     if (opt.slowMs > 0)
         engine.setInjectedRunDelayMs(opt.slowMs);
-    FleetClient client(opt.fleetSocket, index,
-                       gridFingerprint(requests));
     SweepEngine::FleetRunStats st =
         engine.runFleet(requests, client, opt.jobs);
     engine.flush();
@@ -547,17 +590,34 @@ coordinateFleet(const Options &opt, const std::string &cache,
     FleetServer server(sock,
                        FleetQueue(plan.costs, plan.pending, fcfg),
                        gridFingerprint(requests));
+    // Always accept shard uploads: a unix-socket fleet shares the
+    // filesystem and never pushes, but a worker that does push (tcp,
+    // or --push) must find a store, and it is the same canonical
+    // shardCachePath the merge reads either way.
+    server.setShardStore(cache);
     server.start();
 
     if (listen_only) {
+        // boundEndpoint resolves tcp:<host>:0 to the real port - the
+        // one thing the user cannot know before start().
+        const std::string bound = server.boundEndpoint().spec();
         inform("fleet coordinator on %s: %zu keys to lease; start "
                "workers with --fleet %s --shard-index I (I < %u), "
                "merging when drained",
-               sock.c_str(), plan.pending.size(), sock.c_str(),
+               bound.c_str(), plan.pending.size(), bound.c_str(),
                opt.shards);
         while (!server.drained()) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(200));
+        }
+        // Linger until the workers have collected their `# drained`
+        // replies (each closes its connection on exit): stopping the
+        // instant the last key retires would turn every worker's
+        // final lease request into a connection error. Bounded so a
+        // wedged worker cannot stall the merge.
+        for (int i = 0; i < 50 && server.liveConnections() > 0; ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
         }
     } else {
         // The workers all run on this machine: divide the thread
@@ -701,17 +761,22 @@ main(int argc, char **argv)
 
     if (opt.manifest) {
         const std::string self = selfExePath(argv[0]);
-        // A stable, pid-free socket name: the printed commands are
+        // A stable, pid-free socket name (the printed commands are
         // for copy-paste, possibly from a file, long after this
-        // process exited.
-        const std::string sock = cache + ".fleet.sock";
-        Options listen_opt = opt;
-        listen_opt.listenSocket = sock;
+        // process exited) - unless --listen named an endpoint, which
+        // passes through verbatim (tcp: for multi-host fleets).
+        const std::string sock = opt.listenSocket.empty()
+                                     ? cache + ".fleet.sock"
+                                     : opt.listenSocket;
+        const bool tcp =
+            parseEndpoint(sock).kind == Endpoint::Kind::tcp;
         std::printf(
             "# elastic fleet: start the coordinator first (it owns "
             "the lease queue\n"
-            "# and merges at drain), then one worker per index on "
-            "the same host:\n");
+            "# and merges at drain), then one worker per index%s:\n",
+            tcp ? " on any host that can reach it (shard files "
+                  "travel over the socket)"
+                : " on the same host");
         std::vector<std::string> coord{
             self,           "--grid",  opt.grid,
             "--config",     opt.config, "--cache",

@@ -1,14 +1,13 @@
 #include "core/fleet.hh"
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "core/cache_v4.hh"
+#include "core/shard.hh"
 #include "serve/serve_protocol.hh"
 #include "sim/logging.hh"
 
@@ -294,24 +293,63 @@ formatKeys(const std::vector<std::uint32_t> &keys)
     return out;
 }
 
+/** Strict decimal uint64 (same rules as the protocol parser). */
 bool
-writeAll(int fd, const std::string &data)
+parseU64Strict(const std::string &tok, std::uint64_t &out)
 {
-    std::size_t off = 0;
-    while (off < data.size()) {
-        ssize_t w = ::write(fd, data.data() + off, data.size() - off);
-        if (w <= 0)
+    if (tok.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
             return false;
-        off += static_cast<std::size_t>(w);
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+/** Write @p bytes at @p path via tmp+rename (the shard-cache
+ *  discipline: readers never observe a half-written file). */
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes,
+                std::string *error)
+{
+    const std::string tmp = path + ".pushtmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            *error = csprintf("cannot open %s for writing",
+                              tmp.c_str());
+            return false;
+        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            *error = csprintf("short write to %s", tmp.c_str());
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        *error = csprintf("rename %s -> %s failed", tmp.c_str(),
+                          path.c_str());
+        std::remove(tmp.c_str());
+        return false;
     }
     return true;
 }
 
 } // namespace
 
-FleetServer::FleetServer(std::string socket_path, FleetQueue queue,
+FleetServer::FleetServer(std::string endpoint_spec, FleetQueue queue,
                          std::uint64_t grid_hash)
-    : path_(std::move(socket_path)), queue_(std::move(queue)),
+    : path_(std::move(endpoint_spec)), queue_(std::move(queue)),
       gridHash_(grid_hash)
 {}
 
@@ -321,24 +359,16 @@ FleetServer::~FleetServer()
 }
 
 void
+FleetServer::setShardStore(std::string cache_base)
+{
+    std::lock_guard<std::mutex> lk(storeMu_);
+    storeBase_ = std::move(cache_base);
+}
+
+void
 FleetServer::start()
 {
-    listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    fatal_if(listener_ < 0, "socket(AF_UNIX): %s",
-             std::strerror(errno));
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    fatal_if(path_.size() >= sizeof(addr.sun_path),
-             "fleet socket path too long (%zu bytes, max %zu): %s",
-             path_.size(), sizeof(addr.sun_path) - 1, path_.c_str());
-    std::strncpy(addr.sun_path, path_.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(path_.c_str()); // stale socket from a previous run
-    fatal_if(::bind(listener_, reinterpret_cast<sockaddr *>(&addr),
-                    sizeof(addr)) != 0,
-             "bind(%s): %s", path_.c_str(), std::strerror(errno));
-    fatal_if(::listen(listener_, 64) != 0, "listen(%s): %s",
-             path_.c_str(), std::strerror(errno));
+    listener_.bind(parseEndpoint(path_));
     acceptThread_ = std::thread([this] { acceptLoop(); });
 }
 
@@ -347,18 +377,11 @@ FleetServer::stop()
 {
     if (stopping_.exchange(true))
         return;
-    if (listener_ >= 0) {
-        // shutdown() alone does not unblock accept() on all kernels;
-        // close() does, and the accept loop treats the resulting
-        // error as the stop signal.
-        ::shutdown(listener_, SHUT_RDWR);
-        ::close(listener_);
-        listener_ = -1;
-    }
+    listener_.stop(); // unblocks the accept loop
     {
         std::lock_guard<std::mutex> lk(connMu_);
-        for (int fd : connFds_)
-            ::shutdown(fd, SHUT_RDWR);
+        for (const auto &s : connStreams_)
+            s->shutdown();
     }
     if (acceptThread_.joinable())
         acceptThread_.join();
@@ -369,49 +392,140 @@ FleetServer::stop()
     }
     for (std::thread &t : threads)
         t.join();
-    ::unlink(path_.c_str());
 }
 
 void
 FleetServer::acceptLoop()
 {
     for (;;) {
-        int fd = ::accept(listener_, nullptr, nullptr);
-        if (fd < 0) {
-            if (stopping_.load())
-                return;
-            if (errno == EINTR || errno == ECONNABORTED)
-                continue;
-            return;
-        }
+        std::unique_ptr<Stream> conn = listener_.accept();
+        if (conn == nullptr)
+            return; // stopped (or a non-transient accept error)
+        std::shared_ptr<Stream> stream(std::move(conn));
         std::lock_guard<std::mutex> lk(connMu_);
-        connFds_.push_back(fd);
-        connThreads_.emplace_back(
-            [this, fd] { serveConnection(fd); });
+        connStreams_.push_back(stream);
+        liveConns_.fetch_add(1, std::memory_order_relaxed);
+        connThreads_.emplace_back([this, stream] {
+            serveConnection(stream);
+            liveConns_.fetch_sub(1, std::memory_order_relaxed);
+        });
     }
 }
 
 void
-FleetServer::serveConnection(int fd)
+FleetServer::serveConnection(std::shared_ptr<Stream> stream)
 {
     std::string buf;
     char chunk[4096];
     for (;;) {
-        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        ssize_t n = stream->read(chunk, sizeof(chunk));
         if (n <= 0)
             break;
         buf.append(chunk, static_cast<std::size_t>(n));
         std::size_t nl;
         while ((nl = buf.find('\n')) != std::string::npos) {
-            std::string reply = handleLine(buf.substr(0, nl));
+            const std::string line = buf.substr(0, nl);
             buf.erase(0, nl + 1);
-            if (!reply.empty() && !writeAll(fd, reply)) {
-                ::close(fd);
-                return;
+            // push and fetch carry a raw payload on the connection,
+            // so they dispatch here where the stream is in hand;
+            // every pure-line verb goes through handleLine.
+            ServeRequest req = parseServeRequest(line);
+            std::string reply;
+            if (req.kind == ServeRequest::Kind::push) {
+                if (!handlePush(req, buf, *stream, reply))
+                    return;
+            } else if (req.kind == ServeRequest::Kind::fetch) {
+                reply = handleFetch(req);
+            } else {
+                reply = handleLine(line);
             }
+            if (!reply.empty() && !stream->writeAll(reply))
+                return;
         }
     }
-    ::close(fd);
+}
+
+bool
+FleetServer::handlePush(const ServeRequest &req, std::string &buf,
+                        Stream &stream, std::string &reply)
+{
+    // Consume the announced payload unconditionally - even a push
+    // this coordinator will refuse must drain its bytes, or the
+    // line framing of everything after it is garbage.
+    std::string payload;
+    const std::size_t from_buf =
+        std::min<std::size_t>(buf.size(), req.bytes);
+    payload.assign(buf, 0, from_buf);
+    buf.erase(0, from_buf);
+    char chunk[65536];
+    while (payload.size() < req.bytes) {
+        const std::size_t want = std::min<std::size_t>(
+            sizeof(chunk), req.bytes - payload.size());
+        ssize_t n = stream.read(chunk, want);
+        if (n <= 0)
+            return false; // connection died mid-payload
+        payload.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    const std::uint64_t cksum =
+        v4Checksum(payload.data(), payload.size());
+    if (cksum != req.checksum) {
+        // A damaged upload must never reach the store: the client
+        // resyncs and retransmits on a mismatch reply.
+        reply = csprintf(
+            "# error: push payload checksum mismatch (announced "
+            "%llu, computed %llu); %llu bytes dropped\n",
+            static_cast<unsigned long long>(req.checksum),
+            static_cast<unsigned long long>(cksum),
+            static_cast<unsigned long long>(req.bytes));
+        return true;
+    }
+
+    std::lock_guard<std::mutex> lk(storeMu_);
+    if (storeBase_.empty()) {
+        reply = "# error: this coordinator has no shard store "
+                "(started without one); push refused\n";
+        return true;
+    }
+    const std::string dest = shardCachePath(storeBase_, req.worker);
+    std::string error;
+    if (!writeFileAtomic(dest, payload, &error)) {
+        reply = csprintf("# error: push store failed: %s\n",
+                         error.c_str());
+        return true;
+    }
+    ++pushesStored_;
+    reply = csprintf("# pushed %llu\n",
+                     static_cast<unsigned long long>(req.bytes));
+    return true;
+}
+
+std::string
+FleetServer::handleFetch(const ServeRequest &req)
+{
+    std::lock_guard<std::mutex> lk(storeMu_);
+    if (storeBase_.empty())
+        return "# none\n";
+    const std::string path = shardCachePath(storeBase_, req.worker);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "# none\n";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    std::string reply = csprintf(
+        "# shard %zu %llu\n", bytes.size(),
+        static_cast<unsigned long long>(
+            v4Checksum(bytes.data(), bytes.size())));
+    reply += bytes;
+    return reply;
+}
+
+std::uint64_t
+FleetServer::pushesStored() const
+{
+    std::lock_guard<std::mutex> lk(storeMu_);
+    return pushesStored_;
 }
 
 std::string
@@ -475,6 +589,12 @@ FleetServer::handleLine(const std::string &line)
             static_cast<unsigned long long>(queue_.expiredLeases()));
       case ServeRequest::Kind::error:
         return csprintf("# error: %s\n", req.error.c_str());
+      case ServeRequest::Kind::push:
+      case ServeRequest::Kind::fetch:
+        // Their payload framing needs the connection stream;
+        // serveConnection dispatches them before reaching here.
+        return "# error: push/fetch need a socket connection (their "
+               "payload follows the request line)\n";
       default:
         // get/match/wait/help are serve-layer verbs; a fleet
         // coordinator has no cache to answer them from.
@@ -523,37 +643,33 @@ FleetServer::expiredLeases() const
 // FleetClient
 // ---------------------------------------------------------------------
 
-FleetClient::FleetClient(std::string socket_path, unsigned worker,
-                         std::uint64_t grid_hash)
-    : worker_(worker), gridHash_(grid_hash)
+FleetClient::FleetClient(std::string endpoint_spec, unsigned worker,
+                         std::uint64_t grid_hash,
+                         FleetClientOptions opts)
+    : ep_(parseEndpoint(endpoint_spec)), worker_(worker),
+      gridHash_(grid_hash), opts_(opts)
 {
+    if (opts_.connectAttempts == 0)
+        opts_.connectAttempts = 1;
     // Workers may be exec'd before the coordinator binds (the
     // manifest workflow starts them from a shell script): retry for
     // a few seconds before declaring the coordinator missing.
-    const int max_attempts = 100;
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
-        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        fatal_if(fd < 0, "socket(AF_UNIX): %s", std::strerror(errno));
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        fatal_if(socket_path.size() >= sizeof(addr.sun_path),
-                 "fleet socket path too long (%zu bytes, max %zu): %s",
-                 socket_path.size(), sizeof(addr.sun_path) - 1,
-                 socket_path.c_str());
-        std::strncpy(addr.sun_path, socket_path.c_str(),
-                     sizeof(addr.sun_path) - 1);
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) == 0) {
-            fd_ = fd;
-            break;
+    std::string error = "no connect attempt made";
+    for (unsigned attempt = 0; attempt < opts_.connectAttempts;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.connectDelayMs));
         }
-        ::close(fd);
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        std::lock_guard<std::mutex> lk(txnMu_);
+        if (reconnectLocked(&error))
+            break;
     }
-    fatal_if(fd_ < 0,
-             "could not reach the fleet coordinator at %s after %d "
-             "attempts",
-             socket_path.c_str(), max_attempts);
+    fatal_if(stream_ == nullptr,
+             "could not reach the fleet coordinator at %s after %u "
+             "attempts: %s",
+             ep_.spec().c_str(), opts_.connectAttempts,
+             error.c_str());
     renewer_ = std::thread([this] { renewLoop(); });
 }
 
@@ -566,38 +682,185 @@ FleetClient::~FleetClient()
     leaseCv_.notify_all();
     if (renewer_.joinable())
         renewer_.join();
-    if (fd_ >= 0)
-        ::close(fd_);
+    std::lock_guard<std::mutex> lk(txnMu_);
+    stream_.reset();
+}
+
+bool
+FleetClient::reconnectLocked(std::string *error)
+{
+    // A fresh connection always starts with an empty receive buffer:
+    // whatever framing state the old connection had is dead with it.
+    rxBuf_.clear();
+    std::unique_ptr<Stream> s = connectTo(ep_, error);
+    if (s == nullptr) {
+        stream_.reset();
+        return false;
+    }
+    if (opts_.wrap)
+        s = opts_.wrap(std::move(s));
+    stream_ = std::move(s);
+    return true;
+}
+
+void
+FleetClient::dropConnectionLocked()
+{
+    stream_.reset();
+    rxBuf_.clear();
+}
+
+bool
+FleetClient::readLineLocked(std::string &line)
+{
+    std::size_t nl;
+    while ((nl = rxBuf_.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        ssize_t n = stream_->read(chunk, sizeof(chunk));
+        if (n <= 0)
+            return false;
+        rxBuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    line = rxBuf_.substr(0, nl);
+    rxBuf_.erase(0, nl + 1);
+    return true;
+}
+
+bool
+FleetClient::readExactLocked(std::string &out, std::size_t n)
+{
+    const std::size_t from_buf = std::min(rxBuf_.size(), n);
+    out.assign(rxBuf_, 0, from_buf);
+    rxBuf_.erase(0, from_buf);
+    char chunk[65536];
+    while (out.size() < n) {
+        const std::size_t want =
+            std::min(sizeof(chunk), n - out.size());
+        ssize_t r = stream_->read(chunk, want);
+        if (r <= 0)
+            return false;
+        out.append(chunk, static_cast<std::size_t>(r));
+    }
+    return true;
+}
+
+std::string
+FleetClient::transactLocked(const std::string &line)
+{
+    // The connection is disposable: any transport failure drops it,
+    // reconnects, and retransmits. Every fleet verb is idempotent
+    // under retry (file comment in fleet.hh), so at-least-once
+    // delivery is safe.
+    std::string error = "not connected";
+    for (unsigned attempt = 0; attempt <= opts_.maxRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (stream_ == nullptr && !reconnectLocked(&error))
+            continue;
+        if (!stream_->writeAll(line)) {
+            error = "connection lost mid-request";
+            dropConnectionLocked();
+            continue;
+        }
+        std::string reply;
+        if (!readLineLocked(reply)) {
+            error = "connection lost before the reply";
+            dropConnectionLocked();
+            continue;
+        }
+        return reply;
+    }
+    fatal("fleet coordinator at %s unreachable after %u retries "
+          "of '%s': %s",
+          ep_.spec().c_str(), opts_.maxRetries,
+          line.substr(0, line.find('\n')).c_str(), error.c_str());
+    return "";
 }
 
 std::string
 FleetClient::transact(const std::string &line)
 {
     std::lock_guard<std::mutex> lk(txnMu_);
-    fatal_if(!writeAll(fd_, line),
-             "fleet coordinator connection lost (write)");
-    std::size_t nl;
-    while ((nl = rxBuf_.find('\n')) == std::string::npos) {
-        char chunk[4096];
-        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-        fatal_if(n <= 0, "fleet coordinator connection lost (read)");
-        rxBuf_.append(chunk, static_cast<std::size_t>(n));
+    return transactLocked(line);
+}
+
+std::string
+FleetClient::transactValidated(
+    const std::string &line,
+    const std::function<bool(const std::string &)> &valid)
+{
+    std::lock_guard<std::mutex> lk(txnMu_);
+    std::string reply;
+    for (unsigned attempt = 0; attempt <= opts_.maxRetries;
+         ++attempt) {
+        reply = transactLocked(line);
+        if (valid(reply))
+            return reply;
+        // A reply this request can't have produced means the
+        // request/reply pairing on this connection is no longer
+        // trustworthy (a torn, duplicated, or corrupted frame):
+        // resync by retransmitting on a fresh connection.
+        dropConnectionLocked();
     }
-    std::string reply = rxBuf_.substr(0, nl);
-    rxBuf_.erase(0, nl + 1);
+    fatal("fleet reply to '%s' still malformed after %u resyncs "
+          "(last reply: %s)",
+          line.substr(0, line.find('\n')).c_str(), opts_.maxRetries,
+          reply.c_str());
     return reply;
 }
 
 FleetGrant
 FleetClient::lease()
 {
-    for (;;) {
-        std::string reply = transact(csprintf(
-            "lease %u %llu\n", worker_,
-            static_cast<unsigned long long>(gridHash_)));
+    const std::string request = csprintf(
+        "lease %u %llu\n", worker_,
+        static_cast<unsigned long long>(gridHash_));
+    const std::size_t grid_size = opts_.gridSize;
+    auto valid = [grid_size](const std::string &reply) {
         std::vector<std::string> tok = serveTokens(reply);
-        fatal_if(tok.size() < 2 || tok[0] != "#",
-                 "malformed fleet reply: %s", reply.c_str());
+        if (tok.size() < 2 || tok[0] != "#")
+            return false;
+        if (tok[1] == "drained")
+            return tok.size() == 2;
+        if (tok[1] == "wait") {
+            std::uint64_t ms;
+            return tok.size() == 3 && parseU64Strict(tok[2], ms);
+        }
+        if (tok[1] == "error:") {
+            // Only the coordinator's genuine refusals surface; an
+            // error a corrupted *request* provoked (unknown
+            // command, bad operand) retransmits instead.
+            return reply.rfind("# error: grid fingerprint", 0) == 0;
+        }
+        if (tok[1] != "lease" || tok.size() < 6)
+            return false;
+        std::uint64_t id, renew_ms;
+        if (!parseU64Strict(tok[2], id) || id == 0 ||
+            !parseU64Strict(tok[3], renew_ms))
+            return false;
+        if (tok[4] != "fresh" && tok[4] != "stolen")
+            return false;
+        for (std::size_t i = 5; i < tok.size(); ++i) {
+            std::uint64_t key;
+            if (!parseU64Strict(tok[i], key))
+                return false;
+            // A key outside the grid is a torn frame, not a grant:
+            // handing it to the engine would panic the worker.
+            if (grid_size > 0 && key >= grid_size)
+                return false;
+            if (key > UINT32_MAX)
+                return false;
+        }
+        return true;
+    };
+    for (;;) {
+        std::string reply = transactValidated(request, valid);
+        std::vector<std::string> tok = serveTokens(reply);
+        fatal_if(tok[1] == "error:", "fleet lease refused: %s",
+                 reply.c_str());
         if (tok[1] == "drained") {
             FleetGrant g;
             g.kind = FleetGrant::Kind::drained;
@@ -605,16 +868,12 @@ FleetClient::lease()
         }
         if (tok[1] == "wait") {
             std::uint64_t ms =
-                tok.size() > 2 ? std::strtoull(tok[2].c_str(),
-                                               nullptr, 10)
-                               : 50;
+                std::strtoull(tok[2].c_str(), nullptr, 10);
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(std::max<std::uint64_t>(
                     1, std::min<std::uint64_t>(ms, 1000))));
             continue;
         }
-        fatal_if(tok[1] != "lease" || tok.size() < 5,
-                 "malformed fleet reply: %s", reply.c_str());
         FleetGrant g;
         g.kind = FleetGrant::Kind::work;
         g.id = std::strtoull(tok[2].c_str(), nullptr, 10);
@@ -624,8 +883,6 @@ FleetClient::lease()
             g.keys.push_back(static_cast<std::uint32_t>(
                 std::strtoul(tok[i].c_str(), nullptr, 10)));
         }
-        fatal_if(g.keys.empty(), "fleet lease granted zero keys: %s",
-                 reply.c_str());
         ++leasesTaken_;
         {
             std::lock_guard<std::mutex> lk(leaseMu_);
@@ -643,15 +900,133 @@ FleetClient::lease()
 bool
 FleetClient::done(std::uint64_t id, std::uint32_t key)
 {
-    std::string reply = transact(csprintf(
-        "done %u %llu %u\n", worker_,
-        static_cast<unsigned long long>(id), key));
+    std::string reply = transactValidated(
+        csprintf("done %u %llu %u\n", worker_,
+                 static_cast<unsigned long long>(id), key),
+        [](const std::string &r) {
+            // "# error" replies retransmit too: they mean the
+            // coordinator never processed this done (a corrupted
+            // request line), and losing the report would requeue a
+            // finished key.
+            return r == "# ok" || r == "# stale";
+        });
     {
         std::lock_guard<std::mutex> lk(leaseMu_);
         if (id == activeLease_)
             owned_.erase(key);
     }
     return reply == "# ok";
+}
+
+void
+FleetClient::pushShard(std::uint64_t id, const std::string &bytes)
+{
+    fatal_if(bytes.size() > kServeMaxPushBytes,
+             "shard cache is %zu bytes; the push protocol caps "
+             "uploads at %llu",
+             bytes.size(),
+             static_cast<unsigned long long>(kServeMaxPushBytes));
+    const std::string header = csprintf(
+        "push %u %llu %zu %llu\n", worker_,
+        static_cast<unsigned long long>(id), bytes.size(),
+        static_cast<unsigned long long>(
+            v4Checksum(bytes.data(), bytes.size())));
+    const std::string want =
+        csprintf("# pushed %zu", bytes.size());
+
+    std::lock_guard<std::mutex> lk(txnMu_);
+    std::string error = "not connected";
+    for (unsigned attempt = 0; attempt <= opts_.maxRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (stream_ == nullptr && !reconnectLocked(&error))
+            continue;
+        if (!stream_->writeAll(header) || !stream_->writeAll(bytes)) {
+            error = "connection lost mid-upload";
+            dropConnectionLocked();
+            continue;
+        }
+        std::string reply;
+        if (!readLineLocked(reply)) {
+            error = "connection lost before the push reply";
+            dropConnectionLocked();
+            continue;
+        }
+        if (reply == want)
+            return;
+        // Checksum mismatch, a refusal, or a desynced reply: the
+        // frame did not land as sent; retransmit whole.
+        error = reply;
+        dropConnectionLocked();
+    }
+    fatal("shard push (%zu bytes) to %s failed after %u attempts: "
+          "%s",
+          bytes.size(), ep_.spec().c_str(), opts_.maxRetries + 1,
+          error.c_str());
+}
+
+bool
+FleetClient::fetchShard(unsigned shard, const std::string &dest)
+{
+    const std::string request = csprintf("fetch %u\n", shard);
+    std::lock_guard<std::mutex> lk(txnMu_);
+    std::string error = "not connected";
+    for (unsigned attempt = 0; attempt <= opts_.maxRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (stream_ == nullptr && !reconnectLocked(&error))
+            continue;
+        if (!stream_->writeAll(request)) {
+            error = "connection lost mid-request";
+            dropConnectionLocked();
+            continue;
+        }
+        std::string reply;
+        if (!readLineLocked(reply)) {
+            error = "connection lost before the fetch reply";
+            dropConnectionLocked();
+            continue;
+        }
+        if (reply == "# none")
+            return false;
+        std::vector<std::string> tok = serveTokens(reply);
+        std::uint64_t nbytes = 0, cksum = 0;
+        if (tok.size() != 4 || tok[0] != "#" || tok[1] != "shard" ||
+            !parseU64Strict(tok[2], nbytes) ||
+            nbytes > kServeMaxPushBytes ||
+            !parseU64Strict(tok[3], cksum)) {
+            error = reply;
+            dropConnectionLocked();
+            continue;
+        }
+        std::string payload;
+        if (!readExactLocked(payload,
+                             static_cast<std::size_t>(nbytes))) {
+            error = "connection lost mid-download";
+            dropConnectionLocked();
+            continue;
+        }
+        if (v4Checksum(payload.data(), payload.size()) != cksum) {
+            error = "fetched payload failed its checksum";
+            dropConnectionLocked();
+            continue;
+        }
+        std::string write_error;
+        fatal_if(!writeFileAtomic(dest, payload, &write_error),
+                 "cannot store fetched shard %u at %s: %s", shard,
+                 dest.c_str(), write_error.c_str());
+        return true;
+    }
+    fatal("shard %u fetch from %s failed after %u attempts: %s",
+          shard, ep_.spec().c_str(), opts_.maxRetries + 1,
+          error.c_str());
+    return false;
 }
 
 bool
@@ -692,9 +1067,26 @@ FleetClient::renewLoop()
             continue;
         // Transact without the lease lock (done() also takes it).
         lk.unlock();
-        std::string reply = transact(csprintf(
-            "renew %u %llu\n", worker_,
-            static_cast<unsigned long long>(id)));
+        std::string reply = transactValidated(
+            csprintf("renew %u %llu\n", worker_,
+                     static_cast<unsigned long long>(id)),
+            [id](const std::string &r) {
+                if (r == "# stale")
+                    return true;
+                std::vector<std::string> tok = serveTokens(r);
+                if (tok.size() < 3 || tok[0] != "#" ||
+                    tok[1] != "renew")
+                    return false;
+                std::uint64_t got;
+                if (!parseU64Strict(tok[2], got) || got != id)
+                    return false;
+                for (std::size_t i = 3; i < tok.size(); ++i) {
+                    std::uint64_t key;
+                    if (!parseU64Strict(tok[i], key))
+                        return false;
+                }
+                return true;
+            });
         std::vector<std::string> tok = serveTokens(reply);
         lk.lock();
         if (activeLease_ != id)

@@ -9,8 +9,9 @@
  * clock. The fleet keeps the same workers, cache files, and merge
  * join, and replaces only the *assignment*: a coordinator owns the
  * ordered run-key list (longest-estimated-job-first) and workers
- * lease small ranges of it over an AF_UNIX socket, so assignment
- * follows measured progress instead of a fork-time guess.
+ * lease small ranges of it over a socket (AF_UNIX or TCP, see
+ * serve/transport.hh), so assignment follows measured progress
+ * instead of a fork-time guess.
  *
  * Three mechanisms bound the makespan:
  *
@@ -37,11 +38,36 @@
  * thread - every call takes `now` in milliseconds, so unit tests
  * replay lease/steal/expiry schedules exactly. FleetServer wraps it
  * in a socket front end (serve_protocol verbs `lease`/`done`/
- * `renew`/`stats`); FleetClient is the worker side used by
- * SweepEngine::runFleet. The pure makespan-model functions at the
- * bottom replay measured per-run costs through static-vs-stealing
- * fleets; bench/micro_substrate records them (fleet_steal_makespan)
- * and CI gates the ratio.
+ * `renew`/`stats`, plus `push`/`fetch` when a shard store is
+ * attached); FleetClient is the worker side used by
+ * SweepEngine::runFleet.
+ *
+ * Multi-host fleets need two more things than the single-host
+ * original: a TCP endpoint (`tcp:<host>:<port>` instead of a socket
+ * path - both sides parse the spec through serve/transport.hh) and a
+ * way to move shard cache files without a shared filesystem. The
+ * `push` verb uploads a worker's whole `.shard<i>` file to the
+ * coordinator (cache_v4-checksummed; the coordinator stores it
+ * tmp+rename at the canonical shardCachePath, so the drain-time
+ * merge and `--resume` see exactly the files a local fleet would
+ * have written), and `fetch` streams a stored copy back so a
+ * restarted worker resumes from its own pre-crash checkpoint.
+ * Workers push *before* each `done` - the same checkpoint-before-
+ * report ordering that makes local crashes safe extends verbatim to
+ * the no-shared-FS case.
+ *
+ * FleetClient treats the connection as disposable: any transport
+ * error, torn frame, or reply that fails validation drops the
+ * socket, reconnects, and retransmits (bounded; then fatal with the
+ * last error). Every verb is idempotent under retry - a duplicated
+ * `done` is counted stale, a re-pushed file overwrites byte-identical
+ * content, an orphaned lease expires - which is what the
+ * fault-injection suite (tests/test_fleet_faults.cc) leans on.
+ *
+ * The pure makespan-model functions at the bottom replay measured
+ * per-run costs through static-vs-stealing fleets;
+ * bench/micro_substrate records them (fleet_steal_makespan) and CI
+ * gates the ratio.
  */
 
 #ifndef MIGC_CORE_FLEET_HH
@@ -50,15 +76,21 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/transport.hh"
+
 namespace migc
 {
+
+struct ServeRequest; // serve/serve_protocol.hh
 
 /** Tuning for a fleet sweep; the coordinator's flags land here. */
 struct FleetConfig
@@ -233,12 +265,16 @@ class FleetQueue
 std::uint64_t fleetNowMs();
 
 /**
- * Socket front end over one FleetQueue: binds an AF_UNIX stream
- * socket, accepts any number of workers, and answers the
- * `lease`/`done`/`renew`/`stats` verbs of the serve protocol
- * (serve_protocol.hh), one request line per response. All queue
- * access is serialized on one mutex; `handleLine` is also public so
- * tests can drive the protocol without a socket.
+ * Socket front end over one FleetQueue: binds a stream socket
+ * (unix:<path>, tcp:<host>:<port>, or a bare AF_UNIX path - see
+ * serve/transport.hh), accepts any number of workers, and answers
+ * the `lease`/`done`/`renew`/`stats` verbs of the serve protocol
+ * (serve_protocol.hh), one request line per response. With a shard
+ * store attached (setShardStore) it also answers `push` (store a
+ * checksummed shard cache upload at the canonical shardCachePath)
+ * and `fetch` (stream a stored file back). All queue access is
+ * serialized on one mutex; `handleLine` is also public so tests can
+ * drive the line protocol without a socket.
  */
 class FleetServer
 {
@@ -247,13 +283,23 @@ class FleetServer
      *  (gridFingerprint in sweep_engine.hh); a worker whose `lease`
      *  carries a different hash built a different grid and is
      *  refused rather than handed meaningless indices. */
-    FleetServer(std::string socket_path, FleetQueue queue,
+    FleetServer(std::string endpoint_spec, FleetQueue queue,
                 std::uint64_t grid_hash);
 
     ~FleetServer();
 
     FleetServer(const FleetServer &) = delete;
     FleetServer &operator=(const FleetServer &) = delete;
+
+    /**
+     * Accept `push` uploads and answer `fetch` downloads, storing
+     * shard files at shardCachePath(@p cache_base, worker) with the
+     * same tmp+rename discipline the workers themselves use - so
+     * the drain-time merge and a later `--resume` find exactly the
+     * files a shared-filesystem fleet would have left. Call before
+     * start().
+     */
+    void setShardStore(std::string cache_base);
 
     /** Bind, listen, and start the accept thread. Fatal on socket
      *  errors (an unreachable coordinator is never worth a silent
@@ -264,7 +310,8 @@ class FleetServer
      *  Idempotent; the destructor calls it. */
     void stop();
 
-    /** Answer one protocol line (thread-safe). */
+    /** Answer one protocol line (thread-safe). push/fetch are
+     *  refused here - their framing needs the connection stream. */
     std::string handleLine(const std::string &line);
 
     bool drained() const;
@@ -274,21 +321,74 @@ class FleetServer
     std::uint64_t expiredLeases() const;
     const std::string &socketPath() const { return path_; }
 
+    /** The endpoint actually bound (tcp port 0 resolved); valid
+     *  after start(). */
+    const Endpoint &boundEndpoint() const { return listener_.bound(); }
+
+    /** Shard files stored via `push` (accounting for the join). */
+    std::uint64_t pushesStored() const;
+
+    /** Connections currently being served. A drained coordinator
+     *  lingers until this hits zero (bounded) so every worker's
+     *  final lease request gets its `# drained` answer instead of a
+     *  torn connection. */
+    std::size_t liveConnections() const
+    {
+        return liveConns_.load(std::memory_order_relaxed);
+    }
+
   private:
     void acceptLoop();
-    void serveConnection(int fd);
+    void serveConnection(std::shared_ptr<Stream> stream);
+
+    /** Consume the push payload from @p buf + @p stream, verify,
+     *  store. False when the connection died mid-payload. */
+    bool handlePush(const ServeRequest &req, std::string &buf,
+                    Stream &stream, std::string &reply);
+    std::string handleFetch(const ServeRequest &req);
 
     std::string path_;
     mutable std::mutex mu_;
     FleetQueue queue_;
     std::uint64_t gridHash_;
 
-    int listener_ = -1;
+    std::string storeBase_; ///< shard-store cache base ("" = off)
+    mutable std::mutex storeMu_;
+    std::uint64_t pushesStored_ = 0;
+
+    Listener listener_;
+    std::atomic<std::size_t> liveConns_{0};
     std::atomic<bool> stopping_{false};
     std::thread acceptThread_;
     std::mutex connMu_;
-    std::vector<int> connFds_;
+    std::vector<std::shared_ptr<Stream>> connStreams_;
     std::vector<std::thread> connThreads_;
+};
+
+/** Knobs for a FleetClient beyond the identity triple. */
+struct FleetClientOptions
+{
+    /** Grid size for reply validation: a lease reply granting a key
+     *  at or past this bound is treated as a torn frame and resynced
+     *  rather than handed to the engine (0 = no bound known). */
+    std::size_t gridSize = 0;
+
+    /** Upload the shard cache (`push`) before each `done`, and let
+     *  the engine fetch a stored copy back at startup - the
+     *  no-shared-filesystem mode. */
+    bool push = false;
+
+    /** Wraps every connected stream; the fault-injection tests
+     *  inject FaultyStream here. Identity when empty. */
+    StreamWrapper wrap;
+
+    /** Connect retry budget: attempts x delay is how long a worker
+     *  waits for the coordinator to bind before giving up. */
+    unsigned connectAttempts = 100;
+    unsigned connectDelayMs = 100;
+
+    /** Transactions retried across reconnects before fatal. */
+    unsigned maxRetries = 8;
 };
 
 /**
@@ -298,15 +398,21 @@ class FleetServer
  * steal observed at renew time stops the worker before it simulates
  * a stolen key (a missed steal is only wasted work, never a wrong
  * result). All socket transactions are serialized internally.
+ *
+ * The connection is disposable: any read/write error or reply that
+ * fails validation drops it, reconnects, and retransmits the request
+ * (every verb is idempotent under retry; see the file comment).
  */
 class FleetClient
 {
   public:
-    /** Connects to @p socket_path, retrying for a few seconds so
-     *  workers may start before the coordinator binds. Fatal when
-     *  the coordinator never appears. */
-    FleetClient(std::string socket_path, unsigned worker,
-                std::uint64_t grid_hash);
+    /** Connects to @p endpoint_spec (unix:<path>, tcp:<host>:<port>,
+     *  or a bare path), retrying for a few seconds so workers may
+     *  start before the coordinator binds. Fatal when the
+     *  coordinator never appears, naming the last OS error. */
+    FleetClient(std::string endpoint_spec, unsigned worker,
+                std::uint64_t grid_hash,
+                FleetClientOptions opts = FleetClientOptions());
 
     ~FleetClient();
 
@@ -321,6 +427,20 @@ class FleetClient
      *  already counted the key (stale). */
     bool done(std::uint64_t id, std::uint32_t key);
 
+    /** Upload @p bytes (the worker's current shard cache file) under
+     *  lease @p id; the coordinator stores it at the canonical
+     *  shardCachePath. Retries like every other verb; fatal when the
+     *  coordinator repeatedly refuses the frame. */
+    void pushShard(std::uint64_t id, const std::string &bytes);
+
+    /** Download the coordinator's stored copy of shard @p shard into
+     *  @p dest (tmp+rename). @return false when the coordinator has
+     *  no stored file for that shard. */
+    bool fetchShard(unsigned shard, const std::string &dest);
+
+    /** Push-before-done mode is on (FleetClientOptions::push). */
+    bool pushEnabled() const { return opts_.push; }
+
     /** Is @p key still this worker's to run under lease @p id? False
      *  once the key was completed, stolen, or the lease went stale. */
     bool ownedNow(std::uint64_t id, std::uint32_t key) const;
@@ -332,17 +452,42 @@ class FleetClient
     std::uint64_t leasesTaken() const { return leasesTaken_; }
 
   private:
-    /** One request line out, one response line back. */
+    /** One request line out, one response line back; txnMu_ held. */
     std::string transact(const std::string &line);
+
+    /** transact, then re-transact (reconnect first) until @p valid
+     *  accepts the reply or retries run out (fatal). Guards against
+     *  torn/duplicated frames desynchronizing request/reply pairing:
+     *  an invalid reply means this connection's framing can no
+     *  longer be trusted, so resync = new connection. */
+    std::string transactValidated(
+        const std::string &line,
+        const std::function<bool(const std::string &)> &valid);
+
+    /** transact body under txnMu_ with bounded reconnect. */
+    std::string transactLocked(const std::string &line);
+
+    /** Read one '\n'-terminated line from stream_ into rxBuf_;
+     *  empty on connection loss. txnMu_ held. */
+    bool readLineLocked(std::string &line);
+
+    /** Read exactly @p n payload bytes (rxBuf_ first). txnMu_
+     *  held. */
+    bool readExactLocked(std::string &out, std::size_t n);
+
+    void dropConnectionLocked();
+    bool reconnectLocked(std::string *error);
 
     void renewLoop();
 
-    int fd_ = -1;
+    Endpoint ep_;
     unsigned worker_;
     std::uint64_t gridHash_;
+    FleetClientOptions opts_;
     std::uint64_t leasesTaken_ = 0;
 
     mutable std::mutex txnMu_; ///< serializes socket transactions
+    std::unique_ptr<Stream> stream_;
     std::string rxBuf_;
 
     mutable std::mutex leaseMu_; ///< guards the active-lease state

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string_view>
 #include <thread>
 #include <tuple>
@@ -1138,6 +1139,21 @@ SweepEngine::runFleet(const std::vector<RunRequest> &requests,
         }
         if (cached) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            if (client.pushEnabled()) {
+                // In the no-shared-filesystem mode, the only bytes
+                // the coordinator ever sees are pushed shard files -
+                // so a row satisfied from the warm import must be
+                // promoted into the writable shard cache before this
+                // key is reported done (insert is first-write-wins:
+                // a row already in the shard cache is a no-op).
+                std::lock_guard<std::mutex> lk(mu_);
+                const RunMetrics *m =
+                    findCached(sig, req.workload, req.policy);
+                if (m != nullptr) {
+                    cache().insert(sig, *m);
+                    cache().checkpoint();
+                }
+            }
         } else {
             Job job{&req, sig, 0.0, key};
             RunMetrics m = runJob(job, sys, sys_structure);
@@ -1150,6 +1166,27 @@ SweepEngine::runFleet(const std::vector<RunRequest> &requests,
             // the fresh rows (O(fresh) bytes); making every run
             // durable no longer costs a whole-file rewrite per run.
             cache().checkpoint();
+        }
+        if (client.pushEnabled()) {
+            // Push-before-done extends the checkpoint-before-done
+            // ordering across hosts: once the coordinator retires
+            // this key, its row is already durable *there*. The
+            // whole file is read under the engine lock (no
+            // checkpoint can land mid-read) and pushes only ever
+            // grow, so the last push stored for this shard holds
+            // every row reported before it.
+            std::string bytes;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                std::ifstream in(cachePath_, std::ios::binary);
+                if (in) {
+                    std::ostringstream ss;
+                    ss << in.rdbuf();
+                    bytes = ss.str();
+                }
+            }
+            if (!bytes.empty())
+                client.pushShard(id, bytes);
         }
         bool fresh = client.done(id, key);
         std::lock_guard<std::mutex> lk(stats_mu);

@@ -89,12 +89,33 @@ parseServeRequest(const std::string &line)
                                     : ServeRequest::Kind::help;
         return req;
     }
-    if (verb == "lease" || verb == "done" || verb == "renew") {
+    if (verb == "fetch") {
+        // fetch <shard>: download the coordinator's stored copy of
+        // shard <shard>'s cache file (core/fleet.hh).
+        if (tok.size() != 2) {
+            return badRequest(
+                "fetch takes exactly 1 operand: fetch <shard>");
+        }
+        std::uint64_t shard = 0;
+        if (!parseU64(tok[1], shard) || shard > 4095) {
+            return badRequest(csprintf(
+                "fetch: shard index '%s' is not an integer in "
+                "[0, 4095]",
+                tok[1].c_str()));
+        }
+        req.worker = static_cast<unsigned>(shard);
+        req.kind = ServeRequest::Kind::fetch;
+        return req;
+    }
+    if (verb == "lease" || verb == "done" || verb == "renew" ||
+        verb == "push") {
         // Fleet verbs (core/fleet.hh):
         //   lease <worker> <gridhash>
         //   done <worker> <leaseid> <key>
         //   renew <worker> <leaseid>
-        const std::size_t want = verb == "done" ? 4 : 3;
+        //   push <worker> <leaseid> <bytes> <checksum>
+        const std::size_t want =
+            verb == "done" ? 4 : verb == "push" ? 5 : 3;
         if (tok.size() != want) {
             return badRequest(csprintf(
                 "%s takes exactly %zu operands (got %zu; try: help)",
@@ -125,6 +146,24 @@ parseServeRequest(const std::string &line)
         }
         if (verb == "renew") {
             req.kind = ServeRequest::Kind::renew;
+            return req;
+        }
+        if (verb == "push") {
+            if (!parseU64(tok[3], req.bytes) ||
+                req.bytes > kServeMaxPushBytes) {
+                return badRequest(csprintf(
+                    "push: byte count '%s' is not an integer in "
+                    "[0, %llu]",
+                    tok[3].c_str(),
+                    static_cast<unsigned long long>(
+                        kServeMaxPushBytes)));
+            }
+            if (!parseU64(tok[4], req.checksum)) {
+                return badRequest(csprintf(
+                    "push: checksum '%s' is not a decimal uint64",
+                    tok[4].c_str()));
+            }
+            req.kind = ServeRequest::Kind::push;
             return req;
         }
         std::uint64_t key = 0;
@@ -162,11 +201,15 @@ serveHelpText()
         "# match also globs over signatures. Rows are v3 cache CSV, "
         "status lines\n"
         "# start with '#'.\n"
-        "# lease/done/renew are fleet-coordinator verbs (migc_sweep; "
-        "see\n"
-        "# docs/SWEEPS.md): they share this wire format but are "
+        "# lease/done/renew/push/fetch are fleet-coordinator verbs "
+        "(migc_sweep;\n"
+        "# see docs/SWEEPS.md): they share this wire format but are "
         "answered only\n"
-        "# by a sweep coordinator socket, never by migc_serve.\n";
+        "# by a sweep coordinator socket, never by migc_serve. "
+        "push streams a\n"
+        "# checksummed shard cache upload (raw payload after the "
+        "header line);\n"
+        "# fetch streams a stored shard file back.\n";
 }
 
 } // namespace migc

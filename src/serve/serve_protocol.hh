@@ -18,6 +18,13 @@
  *   lease <worker> <gridhash>            request a run-key range
  *   done <worker> <leaseid> <key>        report one completed key
  *   renew <worker> <leaseid>             extend the lease deadline
+ *   push <worker> <leaseid> <bytes> <checksum>
+ *                                        upload the worker's shard
+ *                                        cache: exactly <bytes> raw
+ *                                        bytes follow the newline,
+ *                                        cache_v4-checksummed
+ *   fetch <shard>                        download the coordinator's
+ *                                        stored copy of a shard file
  *
  * Blank lines and lines starting with '#' are ignored (so a cache
  * file or a recorded session can be replayed as input). Responses
@@ -55,6 +62,8 @@ struct ServeRequest
         lease, ///< fleet: request a run-key range
         done,  ///< fleet: report one completed key
         renew, ///< fleet: extend a lease deadline
+        push,  ///< fleet: upload a shard cache file (payload follows)
+        fetch, ///< fleet: download a stored shard cache file
     };
 
     Kind kind = Kind::none;
@@ -64,15 +73,22 @@ struct ServeRequest
     std::string workload;
     std::string policy;
 
-    /** Fleet operands (lease/done/renew). */
-    unsigned worker = 0;        ///< requesting worker index
-    std::uint64_t leaseId = 0;  ///< done/renew: which lease
+    /** Fleet operands (lease/done/renew/push/fetch). */
+    unsigned worker = 0;        ///< worker index (fetch: shard index)
+    std::uint64_t leaseId = 0;  ///< done/renew/push: which lease
     std::uint64_t gridHash = 0; ///< lease: the worker's grid print
     std::uint32_t key = 0;      ///< done: completed grid index
+    std::uint64_t bytes = 0;    ///< push: payload byte count
+    std::uint64_t checksum = 0; ///< push: payload v4Checksum
 
     /** Parse-error message for Kind::error. */
     std::string error;
 };
+
+/** The largest push payload a coordinator accepts (a shard cache is
+ *  a few MB even for the full paper grid; anything near this bound
+ *  is a corrupted or hostile header, not a cache file). */
+constexpr std::uint64_t kServeMaxPushBytes = 1ull << 30;
 
 /** Split @p line on runs of spaces/tabs (no quoting: cache names
  *  reject whitespace-adjacent forms anyway, see sim/names.hh). */

@@ -91,6 +91,10 @@ informImpl(const std::string &m)
     FILE *out = informStream.load(std::memory_order_relaxed);
     std::fprintf(out != nullptr ? out : stdout, "info: %s\n",
                  m.c_str());
+    // Informs are rare and sometimes load-bearing for orchestration
+    // (the fleet coordinator announces its resolved tcp port this
+    // way); a redirected stdout must not sit on them.
+    std::fflush(out != nullptr ? out : stdout);
 }
 
 std::uint64_t
